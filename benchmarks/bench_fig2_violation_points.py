@@ -1,0 +1,25 @@
+"""Figure 2 — timing violation points (violating registers).
+
+Paper: on hetero MAERI, SOTA reduces violation points by 68 % and
+GNN-MLS by 80 % versus No-MLS.  Shape asserted: both reduce, GNN-MLS
+reduces more.
+"""
+
+from repro.harness import fig2_violation_points
+
+
+def test_fig2_violation_points(benchmark, emit):
+    series = benchmark.pedantic(fig2_violation_points,
+                                rounds=1, iterations=1)
+    lines = ["Figure 2 — violation points (maeri128_hetero)",
+             "=" * 48,
+             f"{'flow':<10}{'violations':>12}{'reduction %':>14}"]
+    for flow in ("none", "sota", "gnn"):
+        row = series[flow]
+        lines.append(f"{flow:<10}{row['violation_points']:>12.0f}"
+                     f"{row['reduction_pct']:>13.1f}%")
+    emit("fig2_violation_points", "\n".join(lines))
+
+    assert series["none"]["reduction_pct"] == 0.0
+    assert series["sota"]["reduction_pct"] > 0.0
+    assert series["gnn"]["reduction_pct"] > series["sota"]["reduction_pct"]

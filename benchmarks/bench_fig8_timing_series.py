@@ -1,0 +1,30 @@
+"""Figure 8 — timing metric comparison across all four benchmarks.
+
+The bar-chart series (WNS / TNS / violating paths per benchmark per
+flow).  Free when Tables IV/V already ran in this process (shared
+flow cache).
+"""
+
+from repro.harness import fig8_timing_series
+
+
+def test_fig8_timing_series(benchmark, emit):
+    series = benchmark.pedantic(fig8_timing_series, rounds=1, iterations=1)
+    lines = ["Figure 8 — timing metric series", "=" * 48]
+    for bench, flows in series.items():
+        lines.append(f"\n{bench}")
+        lines.append(f"{'flow':<8}{'WNS (ps)':>12}{'TNS (ns)':>12}"
+                     f"{'#vio':>8}")
+        for flow in ("none", "sota", "gnn"):
+            row = flows[flow]
+            lines.append(f"{flow:<8}{row['wns_ps']:>12.1f}"
+                         f"{row['tns_ns']:>12.2f}"
+                         f"{row['vio_paths']:>8.0f}")
+    emit("fig8_timing_series", "\n".join(lines))
+
+    assert set(series) == {"maeri128_hetero", "a7_hetero",
+                           "maeri256_homo", "a7_homo"}
+    for flows in series.values():
+        assert set(flows) == {"none", "sota", "gnn"}
+        # GNN-MLS never loses to SOTA on TNS on any benchmark.
+        assert flows["gnn"]["tns_ns"] >= flows["sota"]["tns_ns"]

@@ -1,0 +1,40 @@
+"""Table I — single-net MLS impact (the paper's motivation).
+
+On the hetero MAERI baseline, probing individual nets shows MLS helps
+some nets and *hurts* others — e.g. the paper's n480132 improved
+-62 -> -45 ps while n146095 degraded -45 -> -48 ps.  The bench reports
+the strongest improvement and the strongest degradation with the
+metal-layer usage strings.
+"""
+
+from repro.harness import table1_single_net
+
+
+def _render(rows) -> str:
+    lines = ["Table I — single-net MLS slack impact",
+             "=" * 48]
+    header = (f"{'case':<10}{'net':<34}{'slack before':>14}"
+              f"{'slack after':>14}  metals")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row['case']:<10}{row['net'][:32]:<34}"
+            f"{row['slack_before_ps']:>12.1f}ps"
+            f"{row['slack_after_ps']:>12.1f}ps  "
+            f"{row['metals_before']} -> {row['metals_after']}")
+    return "\n".join(lines)
+
+
+def test_table1_single_net(benchmark, emit):
+    rows = benchmark.pedantic(table1_single_net, rounds=1, iterations=1)
+    emit("table1_single_net", _render(rows))
+
+    cases = {row["case"]: row for row in rows}
+    assert "improved" in cases and "degraded" in cases
+    improved, degraded = cases["improved"], cases["degraded"]
+    # MLS helps the improved net and hurts the degraded one.
+    assert improved["slack_after_ps"] > improved["slack_before_ps"]
+    assert degraded["slack_after_ps"] < degraded["slack_before_ps"]
+    # The shared route borrows the other tier's metals.
+    assert "(top)" in improved["metals_after"]

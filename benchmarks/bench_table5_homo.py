@@ -1,0 +1,27 @@
+"""Table V — homogeneous integration PPA (28 nm logic + 28 nm memory).
+
+Expected shape (paper): indiscriminate SOTA MLS *degrades* homogeneous
+designs (its WNS/TNS are worse than No-MLS — dramatically so for the
+A7), while GNN-MLS stays at least as good as No-MLS and beats SOTA.
+"""
+
+from repro.harness import format_table, table5_homogeneous
+from repro.harness.tables import _PPA_METRICS
+
+
+def test_table5_homogeneous(benchmark, emit):
+    tables = benchmark.pedantic(table5_homogeneous,
+                                rounds=1, iterations=1)
+    blocks = []
+    for bench_key, rows in tables.items():
+        blocks.append(format_table(
+            f"Table V ({bench_key}) — 28nm logic + 28nm memory",
+            ["none", "sota", "gnn"], rows, _PPA_METRICS))
+    emit("table5_homo", "\n\n".join(blocks))
+
+    for bench_key, rows in tables.items():
+        # SOTA over-application backfires in homogeneous stacks.
+        assert rows["sota"]["tns_ns"] < rows["none"]["tns_ns"], bench_key
+        # GNN-MLS beats SOTA everywhere.
+        assert rows["gnn"]["tns_ns"] > rows["sota"]["tns_ns"], bench_key
+        assert rows["gnn"]["wns_ps"] > rows["sota"]["wns_ps"], bench_key

@@ -1,0 +1,51 @@
+"""Table VI — testable designs: No-MLS+DFT vs GNN-MLS+DFT (hetero).
+
+Paper: the combined GNN-MLS + wire-based DFT framework keeps test
+coverage at least as high as the No-MLS design while delivering the
+timing gains (MAERI-128: 75 % fewer violating paths, 94 % TNS, 15 %
+effective-frequency gain).
+"""
+
+from repro.harness import format_table, table6_testable
+
+_METRICS = [
+    ("target_freq_mhz", "Target Freq (MHz)", ".0f"),
+    ("wirelength_m", "WL (m)", ".3f"),
+    ("coverage_pct", "Test Cover. (%)", ".2f"),
+    ("wns_ps", "WNS (ps)", ".1f"),
+    ("tns_ns", "TNS (ns)", ".2f"),
+    ("vio_paths", "#Vio. Paths", ".0f"),
+    ("mls_nets", "#MLS Nets", ".0f"),
+    ("runtime_min", "Run-Time (min)", ".2f"),
+    ("power_mw", "Pwr (mW)", ".1f"),
+    ("eff_freq_mhz", "Eff. Freq (MHz)", ".0f"),
+]
+
+
+def test_table6_testable(benchmark, emit):
+    tables = benchmark.pedantic(table6_testable, rounds=1, iterations=1)
+    blocks = []
+    for bench_key, rows in tables.items():
+        blocks.append(format_table(
+            f"Table VI ({bench_key}) — testable designs (wire-based DFT)",
+            ["none", "gnn"], rows, _METRICS))
+    emit("table6_testable", "\n\n".join(blocks))
+
+    for bench_key, rows in tables.items():
+        none_row, gnn_row = rows["none"], rows["gnn"]
+        # Timing gains survive DFT insertion: WNS and effective
+        # frequency improve; TNS does not regress beyond noise.
+        assert gnn_row["wns_ps"] > none_row["wns_ps"], bench_key
+        assert gnn_row["eff_freq_mhz"] > none_row["eff_freq_mhz"], bench_key
+        assert gnn_row["tns_ns"] > none_row["tns_ns"] - 0.1, bench_key
+        # Violation counts: strong reduction on the MAERI fabric; the
+        # A7's counts are small enough to jitter by a few endpoints.
+        assert gnn_row["vio_paths"] <= max(
+            none_row["vio_paths"] * 1.3, none_row["vio_paths"] + 6), \
+            bench_key
+        # Coverage stays usable.  Paper (deterministic ATPG) keeps it
+        # within 0.2 points; our random-pattern sim funnels every
+        # crossing's observability through one observe point, which
+        # costs more — recorded as a deviation in EXPERIMENTS.md.
+        assert gnn_row["coverage_pct"] > none_row["coverage_pct"] - 20.0, \
+            bench_key

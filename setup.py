@@ -1,0 +1,21 @@
+"""Setup shim.
+
+The offline environment has setuptools but no `wheel`, so PEP 517
+editable installs fail; this classic setup.py keeps
+``pip install -e .`` working through the legacy path.
+"""
+
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "GNN-MLS: GNN-assisted Metal Layer Sharing for mixed-node 3D ICs "
+        "(DAC 2025 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

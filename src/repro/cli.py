@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+flow       run one (benchmark, selector) flow and print the metric row
+table      regenerate a paper table (1, 3, 4, 5, 6)
+timing     run a flow and print the signoff-style timing report
+congestion run a flow and print routing utilization + a heatmap
+export     generate a benchmark netlist and write structural Verilog
+list       list benchmark keys and selectors
+
+Examples
+--------
+python -m repro flow --benchmark maeri16_hetero --selector gnn
+python -m repro table --table 4
+python -m repro timing --benchmark a7_hetero --selector none --paths 3
+python -m repro export --benchmark maeri16_hetero --out maeri16.v
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.flow import SELECTORS
+from repro.harness.designs import BENCHMARKS, DEFAULT_EXPERIMENT_SEED, \
+    get_benchmark
+from repro.harness.tables import run_benchmark_flow
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--benchmark", default="maeri16_hetero",
+                        choices=sorted(BENCHMARKS))
+    parser.add_argument("--selector", default="gnn",
+                        choices=list(SELECTORS))
+    parser.add_argument("--seed", type=int,
+                        default=DEFAULT_EXPERIMENT_SEED)
+
+
+def _cmd_list(_args) -> int:
+    print("benchmarks:")
+    for key, spec in sorted(BENCHMARKS.items()):
+        print(f"  {key:<18} {spec.paper_name:<28} "
+              f"@{spec.target_freq_mhz:.0f} MHz "
+              f"(paper {spec.paper_target_mhz:.0f})")
+    print(f"selectors: {', '.join(SELECTORS)}")
+    return 0
+
+
+def _cmd_flow(args) -> int:
+    spec = get_benchmark(args.benchmark)
+    report = run_benchmark_flow(spec, args.selector, seed=args.seed)
+    print(f"{spec.paper_name} — selector {args.selector}")
+    for key, value in report.row().items():
+        print(f"  {key:<18} {value:>12.3f}" if isinstance(value, float)
+              else f"  {key:<18} {value:>12}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.harness import (format_table, table1_single_net,
+                               table3_dft_comparison, table4_heterogeneous,
+                               table5_homogeneous, table6_testable)
+    from repro.harness.tables import _PPA_METRICS
+    if args.table == 1:
+        for row in table1_single_net(args.seed):
+            print(row)
+    elif args.table == 3:
+        for strategy, row in table3_dft_comparison(args.seed).items():
+            print(strategy, row)
+    elif args.table in (4, 5, 6):
+        builder = {4: table4_heterogeneous, 5: table5_homogeneous,
+                   6: table6_testable}[args.table]
+        columns = ["none", "gnn"] if args.table == 6 \
+            else ["none", "sota", "gnn"]
+        for bench, rows in builder(args.seed).items():
+            print(format_table(f"Table {args.table} ({bench})",
+                               columns, rows, _PPA_METRICS))
+            print()
+    else:
+        print(f"unknown table {args.table}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_timing(args) -> int:
+    from repro.timing.report import render_summary
+    spec = get_benchmark(args.benchmark)
+    report = run_benchmark_flow(spec, args.selector, seed=args.seed)
+    print(render_summary(report.final_sta, num_paths=args.paths))
+    return 0
+
+
+def _cmd_congestion(args) -> int:
+    from repro.route.report import render_heatmap, render_utilization
+    spec = get_benchmark(args.benchmark)
+    report = run_benchmark_flow(spec, args.selector, seed=args.seed)
+    routing = report.design.require_routing()
+    print(render_utilization(routing))
+    print()
+    top = routing.grid.top_pair(0)
+    print(render_heatmap(routing, tier=0, pair=top))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.netlist.verilog import write_verilog
+    spec = get_benchmark(args.benchmark)
+    netlist = spec.factory(spec.tech().libraries, spec.seeds(args.seed))
+    write_verilog(netlist, args.out)
+    stats = netlist.stats()
+    print(f"wrote {args.out}: {stats['instances']} instances, "
+          f"{stats['nets']} nets")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GNN-MLS reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and selectors")
+
+    flow = sub.add_parser("flow", help="run one flow, print its row")
+    _add_common(flow)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("--table", type=int, required=True,
+                       choices=(1, 3, 4, 5, 6))
+    table.add_argument("--seed", type=int,
+                       default=DEFAULT_EXPERIMENT_SEED)
+
+    timing = sub.add_parser("timing", help="signoff-style timing report")
+    _add_common(timing)
+    timing.add_argument("--paths", type=int, default=3)
+
+    congestion = sub.add_parser("congestion",
+                                help="routing utilization + heatmap")
+    _add_common(congestion)
+
+    export = sub.add_parser("export", help="write structural Verilog")
+    _add_common(export)
+    export.add_argument("--out", required=True)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "flow": _cmd_flow,
+        "table": _cmd_table,
+        "timing": _cmd_timing,
+        "congestion": _cmd_congestion,
+        "export": _cmd_export,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

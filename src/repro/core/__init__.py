@@ -1,0 +1,38 @@
+"""GNN-MLS: the paper's contribution.
+
+Hypergraph-to-node conversion with feature fusion (Section III-B,
+Table II), a 3-layer / 3-head Graph Transformer over timing paths with
+positional encodings (Section III-C), Deep Graph Infomax pretraining
+(Eq. 3, Algorithm 1), a 2-layer MLP fine-tuned on STA labels, per-net
+MLS decisions, and the end-to-end design flow of Figure 4.
+"""
+
+from repro.core.features import NodeFeatureExtractor, FEATURE_NAMES
+from repro.core.hypergraph import PathGraph, build_path_graph
+from repro.core.pathset import PathDataset, build_dataset
+from repro.core.encoder import GraphTransformer, EncoderConfig
+from repro.core.dgi import DGIPretrainer
+from repro.core.classifier import DecisionHead
+from repro.core.trainer import GnnMlsModel, TrainConfig, train_gnn_mls
+from repro.core.decide import decide_mls_nets
+from repro.core.flow import FlowConfig, FlowReport, run_flow
+
+__all__ = [
+    "NodeFeatureExtractor",
+    "FEATURE_NAMES",
+    "PathGraph",
+    "build_path_graph",
+    "PathDataset",
+    "build_dataset",
+    "GraphTransformer",
+    "EncoderConfig",
+    "DGIPretrainer",
+    "DecisionHead",
+    "GnnMlsModel",
+    "TrainConfig",
+    "train_gnn_mls",
+    "decide_mls_nets",
+    "FlowConfig",
+    "FlowReport",
+    "run_flow",
+]

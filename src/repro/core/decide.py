@@ -1,0 +1,24 @@
+"""Turning model scores into the MLS net set."""
+
+from __future__ import annotations
+
+from repro.core.hypergraph import PathGraph
+from repro.core.trainer import GnnMlsModel
+
+#: Default decision threshold on the aggregated net probability.
+DEFAULT_THRESHOLD = 0.5
+
+
+def decide_mls_nets(model: GnnMlsModel,
+                    graphs: list[PathGraph] | None = None,
+                    threshold: float = DEFAULT_THRESHOLD) -> set[str]:
+    """Nets the GNN selects for Metal Layer Sharing.
+
+    *graphs* defaults to every path in the model's dataset — nets that
+    never appear on an extracted timing path stay un-shared (they are
+    timing-irrelevant, so sharing them cannot improve slack and only
+    consumes the shared resource).
+    """
+    graphs = graphs if graphs is not None else model.dataset.graphs
+    probs = model.net_probabilities(graphs)
+    return {name for name, p in probs.items() if p >= threshold}

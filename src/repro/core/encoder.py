@@ -1,0 +1,56 @@
+"""The Graph Transformer encoder (Section III-C).
+
+Three encoder layers with three-head self-attention over one timing
+path's node sequence — "the proposed Transformer architecture has
+three layers; each layer consists of a three-head self-attention
+mechanism" — with sinusoidal positional encodings preserving the
+path's signal-flow order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import (Linear, Module, TransformerEncoder,
+                             positional_encoding)
+from repro.nn.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Model hyper-parameters (paper defaults)."""
+
+    in_dim: int = 9
+    d_model: int = 48
+    heads: int = 3
+    layers: int = 3
+    ff_mult: int = 2
+    max_len: int = 512
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.heads:
+            raise ValueError("d_model must be divisible by heads")
+
+
+class GraphTransformer(Module):
+    """Input projection + positional encoding + Transformer stack."""
+
+    def __init__(self, config: EncoderConfig, rng: np.random.Generator):
+        self.config = config
+        self.proj = Linear(config.in_dim, config.d_model, rng, name="proj")
+        self.encoder = TransformerEncoder(config.d_model, config.heads,
+                                          config.layers, rng,
+                                          ff_mult=config.ff_mult)
+        self._posenc = positional_encoding(config.max_len, config.d_model)
+
+    def __call__(self, features: Tensor) -> Tensor:
+        """Encode one path's (N, in_dim) normalized features to
+        (N, d_model) node embeddings."""
+        n = features.shape[0]
+        if n > self.config.max_len:
+            raise ValueError(
+                f"path length {n} exceeds max_len {self.config.max_len}")
+        h = self.proj(features) + Tensor(self._posenc[:n])
+        return self.encoder(h)

@@ -1,0 +1,116 @@
+"""Table II hand-crafted node features.
+
+Each node of the converted hypergraph is a *driving pin* (cell output
+or input port) with its net's features fused in:
+
+====================  =====================================  ======
+feature               description                            unit
+====================  =====================================  ======
+cell x, y             location of the driving cell           um
+cell delay            delay of the driving cell at its load  ps
+pin capacitance       capacitance load on the output pin     pF
+wirelength            routed wirelength of the net           um
+wire capacitance      extracted wire capacitance             pF
+wire resistance       extracted wire resistance              ohm
+====================  =====================================  ======
+
+Plus two structural extras the simulator exposes for free (fanout and
+a cross-tier flag); they are appended after the paper's six and can be
+disabled for a faithful-ablation run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.design import Design
+from repro.errors import FlowError
+from repro.netlist.net import Net, Pin
+from repro.timing.delay import PORT_DRIVE_RES, cell_output_delay
+from repro.units import ff_to_pf
+
+FEATURE_NAMES = (
+    "cell_x_um",
+    "cell_y_um",
+    "cell_delay_ps",
+    "pin_cap_pf",
+    "wirelength_um",
+    "wire_cap_pf",
+    "wire_res_ohm",
+    "fanout",
+    "is_cross_tier",
+)
+
+#: Number of Table II features (the first seven columns).
+NUM_PAPER_FEATURES = 7
+
+
+class NodeFeatureExtractor:
+    """Extracts and standardizes per-node feature vectors."""
+
+    def __init__(self, design: Design, extra_features: bool = True):
+        self.design = design
+        self.extra = extra_features
+        self.placement = design.require_placement()
+        self.tiers = design.require_tiers()
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    @property
+    def routing(self):
+        """The design's *current* routing — re-read on every access so
+        iterative refinement sees post-MLS parasitics."""
+        return self.design.require_routing()
+
+    @property
+    def dim(self) -> int:
+        return len(FEATURE_NAMES) if self.extra else NUM_PAPER_FEATURES
+
+    def raw_features(self, driver: Pin, net: Net) -> np.ndarray:
+        """Unnormalized feature vector for one (driver, net) node."""
+        if not driver.drives:
+            raise FlowError(f"{driver.full_name} is not a driving pin")
+        loc = self.placement.of_pin(driver)
+        rc = self.routing.rc.get(net.name)
+        if rc is not None:
+            load_ff = rc.load_ff
+            wirelength = rc.wirelength_um
+            wire_cap = rc.wire_cap_ff
+            wire_res = rc.wire_res_ohm
+        else:
+            load_ff = net.sink_cap_ff()
+            wirelength = wire_cap = wire_res = 0.0
+        if driver.owner is not None:
+            delay = cell_output_delay(driver.owner.cell, load_ff)
+        else:
+            delay = PORT_DRIVE_RES * load_ff / 1000.0
+        vec = [
+            loc.x,
+            loc.y,
+            delay,
+            ff_to_pf(load_ff),
+            wirelength,
+            ff_to_pf(wire_cap),
+            wire_res,
+        ]
+        if self.extra:
+            vec.append(float(net.fanout))
+            vec.append(1.0 if self.tiers.is_cross_tier(net) else 0.0)
+        return np.array(vec, dtype=np.float64)
+
+    def fit_normalizer(self, matrix: np.ndarray) -> None:
+        """Fit standardization stats on the training feature matrix."""
+        if matrix.ndim != 2 or matrix.shape[1] != self.dim:
+            raise FlowError(
+                f"expected (N, {self.dim}) features, got {matrix.shape}")
+        self._mean = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        std[std < 1e-9] = 1.0
+        self._std = std
+
+    def normalize(self, matrix: np.ndarray) -> np.ndarray:
+        if self._mean is None or self._std is None:
+            raise FlowError("normalizer not fitted — call fit_normalizer")
+        return (matrix - self._mean) / self._std

@@ -1,0 +1,228 @@
+"""The end-to-end GNN-MLS design flow (Figure 4).
+
+One call runs: generate -> partition (memory-on-logic) -> place ->
+level shifters (mixed-node) -> optional scan insertion -> repeater
+buffering -> baseline no-MLS routing + STA -> MLS net selection
+(none / SOTA / GNN / oracle / random) -> targeted routing -> final
+STA -> optional MLS DFT + die-test fault simulation -> power + PDN.
+The :class:`FlowReport` carries every number Tables IV-VI print.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.design import Design, TechSetup
+from repro.errors import FlowError
+from repro.netlist.netlist import Netlist
+from repro.opt.buffering import insert_buffers
+from repro.partition import partition_memory_on_logic
+from repro.place import place_design
+from repro.power import (default_power_plan, estimate_power,
+                         insert_level_shifters, PowerReport)
+from repro.pdn.sizing import PdnSizingResult, size_pdn
+from repro.route.router import GlobalRouter, RouteConfig
+from repro.mls import oracle_select, route_with_mls, sota_select
+from repro.mls.oracle import candidate_nets
+from repro.timing import run_sta
+from repro.timing.sta import TimingReport
+from repro.rng import SeedBundle
+from repro.core.decide import decide_mls_nets
+from repro.core.pathset import build_dataset
+from repro.core.trainer import TrainConfig, train_gnn_mls
+
+#: Netlist factory signature: (libraries, seeds) -> Netlist.
+NetlistFactory = Callable[[dict, SeedBundle], Netlist]
+
+SELECTORS = ("none", "sota", "gnn", "oracle", "random")
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """Flow knobs for one run."""
+
+    selector: str = "gnn"
+    target_freq_mhz: float = 1500.0
+    num_paths: int = 1500
+    num_labeled: int = 500
+    with_scan: bool = False
+    dft_strategy: Optional[str] = None      # "net-based"/"wire-based"
+    dft_patterns: int = 256
+    #: Cap on exactly-simulated faults (stride-sampled beyond).
+    dft_max_faults: int = 30000
+    train: TrainConfig = field(default_factory=TrainConfig)
+    route: RouteConfig = field(default_factory=RouteConfig)
+    decision_threshold: float = 0.5
+    #: After routing the first GNN selection, re-extract the now-worst
+    #: paths and re-infer, growing the set — covers nets that only
+    #: become critical once the original offenders are fixed.
+    gnn_refine_iters: int = 2
+    pdn: bool = True
+    activity: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.selector not in SELECTORS:
+            raise FlowError(f"unknown selector {self.selector!r}; "
+                            f"choose from {SELECTORS}")
+        if self.dft_strategy is not None and not self.with_scan:
+            raise FlowError("MLS DFT needs with_scan=True")
+
+
+@dataclass
+class FlowReport:
+    """Everything a table row needs, plus the live objects."""
+
+    design: Design
+    config: FlowConfig
+    baseline_sta: TimingReport
+    final_sta: TimingReport
+    requested_mls: set[str]
+    applied_mls: set[str]
+    wirelength_m: float
+    power: PowerReport
+    pdn: Optional[PdnSizingResult]
+    selection_runtime_s: float
+    coverage_pct: Optional[float] = None
+    total_faults: Optional[int] = None
+    detected_faults: Optional[int] = None
+    model: object = None
+
+    def row(self) -> dict[str, float]:
+        """Flat metric dict, the currency of the benchmark tables."""
+        sta = self.final_sta
+        out = {
+            "target_freq_mhz": self.design.target_freq_mhz,
+            "wirelength_m": self.wirelength_m,
+            "wns_ps": sta.wns_ps,
+            "tns_ns": sta.tns_ns,
+            "vio_paths": sta.num_violating,
+            "mls_nets": len(self.applied_mls),
+            "runtime_min": self.selection_runtime_s / 60.0,
+            "power_mw": self.power.total_mw,
+            "ls_power_mw": self.power.level_shifter_mw,
+            "eff_freq_mhz": sta.effective_freq_mhz(),
+        }
+        if self.pdn is not None:
+            out["ir_drop_pct"] = self.pdn.worst_drop_pct
+            out["pdn_width_um"] = self.pdn.config.width_um
+            out["pdn_pitch_um"] = self.pdn.config.pitch_um
+            out["pdn_util_pct"] = 100.0 * self.pdn.config.utilization
+        if self.coverage_pct is not None:
+            out["coverage_pct"] = self.coverage_pct
+            out["total_faults"] = self.total_faults
+            out["detected_faults"] = self.detected_faults
+        return out
+
+
+def prepare_design(factory: NetlistFactory, tech: TechSetup,
+                   seeds: SeedBundle, config: FlowConfig) -> Design:
+    """Stages shared by every selector: generate through buffering."""
+    netlist = factory(tech.libraries, seeds)
+    design = Design(netlist, tech, config.target_freq_mhz)
+    design.tiers = partition_memory_on_logic(netlist)
+    design.placement, design.floorplan = place_design(
+        netlist, design.tiers, seeds)
+    plan = default_power_plan(design)
+    insert_level_shifters(design, plan)
+    if config.with_scan:
+        from repro.dft.scan import insert_scan
+        insert_scan(design)
+    insert_buffers(design)
+    return design
+
+
+def select_nets(design: Design, router: GlobalRouter, baseline,
+                report: TimingReport, seeds: SeedBundle,
+                config: FlowConfig) -> tuple[set[str], float, object]:
+    """Run the configured selector; returns (nets, runtime_s, model)."""
+    start = time.perf_counter()
+    model = None
+    if config.selector == "none":
+        nets: set[str] = set()
+    elif config.selector == "sota":
+        nets = sota_select(design, baseline)
+    elif config.selector == "oracle":
+        nets = oracle_select(design, router, baseline)
+    elif config.selector == "random":
+        rng = seeds.fresh("random-selector")
+        pool = [n.name for n in candidate_nets(design)]
+        take = max(1, len(pool) // 5)
+        nets = set(rng.choice(pool, size=min(take, len(pool)),
+                              replace=False).tolist())
+    else:  # gnn
+        dataset = build_dataset(design, router, baseline, report,
+                                num_paths=config.num_paths,
+                                num_labeled=config.num_labeled)
+        model = train_gnn_mls(dataset, seeds, config.train)
+        nets = decide_mls_nets(model, threshold=config.decision_threshold)
+    return nets, time.perf_counter() - start, model
+
+
+def run_flow(factory: NetlistFactory, tech: TechSetup,
+             seeds: SeedBundle, config: FlowConfig) -> FlowReport:
+    """Run the complete flow for one (design, selector) combination."""
+    design = prepare_design(factory, tech, seeds, config)
+
+    router, baseline = route_with_mls(design, set(), config.route)
+    base_report = run_sta(design)
+
+    requested, runtime_s, model = select_nets(
+        design, router, baseline, base_report, seeds, config)
+
+    router, routing = route_with_mls(design, requested, config.route)
+    final_report = run_sta(design)
+
+    if config.selector == "gnn" and model is not None:
+        from repro.core.hypergraph import build_path_graph
+        from repro.timing.paths import extract_worst_paths
+        start = time.perf_counter()
+        for _ in range(config.gnn_refine_iters):
+            paths = extract_worst_paths(final_report, k=config.num_paths)
+            graphs = [build_path_graph(p, model.dataset.extractor)
+                      for p in paths if len(p.stages()) >= 2]
+            probs = model.net_probabilities(graphs)
+            new = {name for name, p in probs.items()
+                   if p >= config.decision_threshold} - requested
+            if not new:
+                break
+            requested |= new
+            router, routing = route_with_mls(design, requested,
+                                             config.route)
+            final_report = run_sta(design)
+        runtime_s += time.perf_counter() - start
+
+    coverage = total = detected = None
+    if config.dft_strategy is not None:
+        from repro.dft.mls_dft import apply_mls_dft, die_test_fault_sim
+        apply_mls_dft(design, router, routing, config.dft_strategy)
+        final_report = run_sta(design)
+        sim = die_test_fault_sim(design, seeds.fresh("die-test"),
+                                 patterns=config.dft_patterns,
+                                 with_dft=True,
+                                 max_faults=config.dft_max_faults)
+        coverage = sim.coverage_pct
+        total = sim.total_faults
+        detected = sim.detected_total
+
+    plan = default_power_plan(design)
+    power = estimate_power(design, plan, activity=config.activity)
+    pdn = size_pdn(design, plan=plan) if config.pdn else None
+
+    return FlowReport(
+        design=design,
+        config=config,
+        baseline_sta=base_report,
+        final_sta=final_report,
+        requested_mls=requested,
+        applied_mls=routing.mls_applied_nets(),
+        wirelength_m=routing.wirelength_um() * 1e-6,
+        power=power,
+        pdn=pdn,
+        selection_runtime_s=runtime_s,
+        coverage_pct=coverage,
+        total_faults=total,
+        detected_faults=detected,
+        model=model,
+    )

@@ -1,0 +1,70 @@
+"""Hypergraph-to-node conversion of timing paths (Section III-B).
+
+A multi-pin net is a hyperedge; folding it onto its single source
+(the driving output pin) turns net-level MLS decisions into *node*
+decisions and lets edge features ride along as node features
+(Figure 5).  A :class:`PathGraph` is one timing path after that
+conversion: an ordered node sequence, each node a (driver pin, net)
+pair with a fused feature vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import FlowError
+from repro.core.features import NodeFeatureExtractor
+from repro.timing.paths import TimingPath
+
+
+@dataclass
+class PathGraph:
+    """One converted timing path.
+
+    ``net_names[i]`` is the net folded into node i; ``features`` is
+    the raw (unnormalized) feature matrix, shape (depth, dim);
+    ``decidable[i]`` marks nodes whose net is a 2-D net the MLS
+    decision applies to (cross-tier and clock nets are not MLS
+    candidates).
+    """
+
+    endpoint: str
+    slack_ps: float
+    net_names: list[str]
+    features: np.ndarray
+    decidable: np.ndarray                 # bool per node
+    labels: np.ndarray | None = None      # optional binary targets
+
+    @property
+    def depth(self) -> int:
+        return len(self.net_names)
+
+    def __post_init__(self) -> None:
+        if self.features.shape[0] != len(self.net_names):
+            raise FlowError("feature rows must match node count")
+        if self.decidable.shape[0] != len(self.net_names):
+            raise FlowError("decidable mask must match node count")
+
+
+def build_path_graph(path: TimingPath,
+                     extractor: NodeFeatureExtractor) -> PathGraph:
+    """Convert one STA path into a node-centric :class:`PathGraph`."""
+    tiers = extractor.tiers
+    net_names: list[str] = []
+    rows: list[np.ndarray] = []
+    decidable: list[bool] = []
+    for driver, net in path.stages():
+        net_names.append(net.name)
+        rows.append(extractor.raw_features(driver, net))
+        decidable.append(not tiers.is_cross_tier(net))
+    if not net_names:
+        raise FlowError(f"path to {path.endpoint} has no stages")
+    return PathGraph(
+        endpoint=path.endpoint,
+        slack_ps=path.slack_ps,
+        net_names=net_names,
+        features=np.vstack(rows),
+        decidable=np.array(decidable, dtype=bool),
+    )

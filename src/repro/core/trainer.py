@@ -1,0 +1,140 @@
+"""Training orchestration (Algorithm 1).
+
+Stage 1: DGI pretraining of the Graph Transformer on all extracted
+paths (unlabeled).  Stage 2: supervised fine-tuning of the 2-layer
+MLP head — and, with a reduced learning rate, the encoder — on the
+oracle-labeled paths.  Loss is masked to *decidable* nodes (2-D nets)
+and positively re-weighted for the label imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.classifier import DecisionHead
+from repro.core.dgi import DGIPretrainer
+from repro.core.encoder import EncoderConfig, GraphTransformer
+from repro.core.hypergraph import PathGraph
+from repro.core.pathset import PathDataset
+from repro.errors import TrainingError
+from repro.nn.functional import binary_cross_entropy_with_logits
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.rng import SeedBundle
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters for both stages."""
+
+    encoder: EncoderConfig = field(default_factory=EncoderConfig)
+    head_hidden: int = 32
+    dgi_epochs: int = 4
+    dgi_lr: float = 1e-3
+    finetune_epochs: int = 12
+    finetune_lr: float = 2e-3
+    encoder_finetune_lr: float = 2e-4
+    use_dgi: bool = True           # ablation knob
+
+
+class GnnMlsModel:
+    """Encoder + head + the dataset's normalizer, ready for inference."""
+
+    def __init__(self, encoder: GraphTransformer, head: DecisionHead,
+                 dataset: PathDataset, config: TrainConfig):
+        self.encoder = encoder
+        self.head = head
+        self.dataset = dataset
+        self.config = config
+        self.history: dict[str, list[float]] = {}
+
+    def node_probabilities(self, graph: PathGraph) -> np.ndarray:
+        """Per-node MLS probability for one path graph."""
+        normalized = self.dataset.extractor.normalize(graph.features)
+        embeddings = self.encoder(Tensor(normalized))
+        return self.head.probabilities(embeddings)
+
+    def net_probabilities(self, graphs: list[PathGraph]
+                          ) -> dict[str, float]:
+        """Aggregate node probabilities per net (mean over paths).
+
+        A net can appear on many paths; averaging its per-occurrence
+        scores is the consensus rule the decision stage thresholds.
+        """
+        total: dict[str, float] = {}
+        count: dict[str, int] = {}
+        for graph in graphs:
+            probs = self.node_probabilities(graph)
+            for name, p, ok in zip(graph.net_names, probs, graph.decidable):
+                if not ok:
+                    continue
+                total[name] = total.get(name, 0.0) + float(p)
+                count[name] = count.get(name, 0) + 1
+        return {name: total[name] / count[name] for name in total}
+
+
+def train_gnn_mls(dataset: PathDataset, seeds: SeedBundle,
+                  config: TrainConfig | None = None,
+                  log=None) -> GnnMlsModel:
+    """Run Algorithm 1 on *dataset*; returns the trained model."""
+    config = config or TrainConfig()
+    if not dataset.labeled_graphs:
+        raise TrainingError("dataset has no labeled paths to fine-tune on")
+    enc_cfg = config.encoder
+    if enc_cfg.in_dim != dataset.extractor.dim:
+        enc_cfg = EncoderConfig(in_dim=dataset.extractor.dim,
+                                d_model=enc_cfg.d_model,
+                                heads=enc_cfg.heads,
+                                layers=enc_cfg.layers,
+                                ff_mult=enc_cfg.ff_mult,
+                                max_len=enc_cfg.max_len)
+    rng = seeds.fresh("gnn-init")
+    encoder = GraphTransformer(enc_cfg, rng)
+    head = DecisionHead(enc_cfg.d_model, config.head_hidden, rng)
+    model = GnnMlsModel(encoder, head, dataset, config)
+
+    if config.use_dgi:
+        pretrainer = DGIPretrainer(encoder, seeds.fresh("dgi"))
+        model.history["dgi"] = pretrainer.pretrain(
+            dataset.graphs, dataset.extractor.normalize,
+            epochs=config.dgi_epochs, lr=config.dgi_lr, log=log)
+
+    # Fine-tune: head at full LR, encoder at a reduced LR.
+    balance = dataset.label_balance()
+    pos_weight = min(10.0, (1.0 - balance) / max(balance, 0.02))
+    head_opt = Adam(head.parameters(), lr=config.finetune_lr)
+    enc_opt = Adam(encoder.parameters(), lr=config.encoder_finetune_lr)
+    rng_ft = seeds.fresh("finetune")
+    mats = [dataset.extractor.normalize(g.features)
+            for g in dataset.labeled_graphs]
+    losses: list[float] = []
+    for epoch in range(config.finetune_epochs):
+        order = rng_ft.permutation(len(mats))
+        total = 0.0
+        used = 0
+        for idx in order:
+            graph = dataset.labeled_graphs[int(idx)]
+            assert graph.labels is not None
+            mask = graph.decidable
+            if not mask.any():
+                continue
+            embeddings = encoder(Tensor(mats[int(idx)]))
+            logits = head(embeddings)[mask]
+            targets = Tensor(graph.labels[mask][:, None])
+            loss = binary_cross_entropy_with_logits(
+                logits, targets, pos_weight=pos_weight)
+            head_opt.zero_grad()
+            enc_opt.zero_grad()
+            loss.backward()
+            head_opt.step()
+            enc_opt.step()
+            total += float(loss.data)
+            used += 1
+        mean = total / max(used, 1)
+        losses.append(mean)
+        if log is not None:
+            log(f"fine-tune epoch {epoch}: loss {mean:.4f}")
+    model.history["finetune"] = losses
+    return model

@@ -1,0 +1,122 @@
+"""The :class:`Design` container — one 3D IC being pushed through the flow.
+
+Bundles the netlist with everything the flow stages attach to it:
+technology setup (per-tier node/stack/library + F2F via), tier
+assignment, placement, routing, and the clock constraint.  Stages take
+and return a ``Design`` so experiment code reads like the paper's
+Figure 4 flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import FlowError
+from repro.netlist.netlist import Netlist
+from repro.partition.tier import TierAssignment
+from repro.tech.layers import F2FVia, MetalStack, default_stack
+from repro.tech.library import CellLibrary, build_library
+from repro.tech.node import TechNode, get_node
+from repro.units import mhz_to_period_ps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.place.floorplan import Floorplan
+    from repro.place.placement import Placement
+    from repro.route.router import RoutingResult
+
+
+@dataclass(frozen=True)
+class TechSetup:
+    """Per-tier technology: (bottom=logic, top=memory) ordering.
+
+    ``beol_layers`` controls the per-die stack depth (6+6 for MAERI,
+    8+8 for the A7, per Table IV).
+    """
+
+    nodes: tuple[TechNode, TechNode]
+    stacks: tuple[MetalStack, MetalStack]
+    libraries: dict[str, CellLibrary]
+    f2f: F2FVia = field(default_factory=F2FVia)
+
+    @classmethod
+    def build(cls, logic_node: str = "16nm", memory_node: str = "28nm",
+              beol_layers: int = 6, wire_scale: float = 4.0) -> "TechSetup":
+        """Standard hetero (16+28) or homo (28+28) setup.
+
+        ``wire_scale`` maps floorplan um to physical wiring um (the
+        instance-count scale-down compensation, DESIGN.md section 5).
+
+        >>> hetero = TechSetup.build("16nm", "28nm")
+        >>> homo = TechSetup.build("28nm", "28nm", beol_layers=6)
+        """
+        bottom = get_node(logic_node)
+        top = get_node(memory_node)
+        return cls(
+            nodes=(bottom, top),
+            stacks=(default_stack(bottom, beol_layers, wire_scale),
+                    default_stack(top, beol_layers, wire_scale)),
+            libraries={"logic": build_library(bottom),
+                       "memory": build_library(top)},
+        )
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return self.nodes[0].name != self.nodes[1].name
+
+    def stack_of(self, tier: int) -> MetalStack:
+        return self.stacks[tier]
+
+    def node_of(self, tier: int) -> TechNode:
+        return self.nodes[tier]
+
+
+class Design:
+    """One design instance moving through the flow.
+
+    Mutable by intent: flow stages attach placement, routing and
+    decision state.  ``mls_nets`` is the current set of net names with
+    Metal Layer Sharing enabled — the quantity the whole paper is
+    about.
+    """
+
+    def __init__(self, netlist: Netlist, tech: TechSetup,
+                 target_freq_mhz: float):
+        self.netlist = netlist
+        self.tech = tech
+        self.target_freq_mhz = float(target_freq_mhz)
+        self.clock_period_ps = mhz_to_period_ps(target_freq_mhz)
+        self.tiers: Optional[TierAssignment] = None
+        self.placement: Optional["Placement"] = None
+        self.floorplan: Optional["Floorplan"] = None
+        self.routing: Optional["RoutingResult"] = None
+        self.mls_nets: set[str] = set()
+        self.notes: dict[str, object] = {}
+
+    # -- guarded accessors: stages fail loudly when run out of order --------
+
+    def require_tiers(self) -> TierAssignment:
+        if self.tiers is None:
+            raise FlowError("design has no tier assignment yet — "
+                            "run partitioning first")
+        return self.tiers
+
+    def require_placement(self) -> "Placement":
+        if self.placement is None:
+            raise FlowError("design is unplaced — run placement first")
+        return self.placement
+
+    def require_floorplan(self) -> "Floorplan":
+        if self.floorplan is None:
+            raise FlowError("design has no floorplan — run placement first")
+        return self.floorplan
+
+    def require_routing(self) -> "RoutingResult":
+        if self.routing is None:
+            raise FlowError("design is unrouted — run routing first")
+        return self.routing
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Design({self.netlist.name} @{self.target_freq_mhz:.0f}MHz, "
+                f"{'hetero' if self.tech.is_heterogeneous else 'homo'}, "
+                f"mls={len(self.mls_nets)})")

@@ -1,0 +1,108 @@
+"""Full-scan insertion and chain stitching.
+
+Every plain DFF swaps to its scannable variant (SDFF); chains are
+stitched in placement order (row-major snake per tier, the standard
+wirelength-aware ordering) from a ``scan_in`` port through SI pins to
+a ``scan_out`` port, with a shared ``scan_enable``.  Macros are not
+scannable; their data pins stay cone boundaries, as in real designs
+with memory BIST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.design import Design
+from repro.errors import DFTError
+from repro.netlist.cell import Instance
+
+#: DFF -> scan-equivalent mapping.
+_SCAN_EQUIVALENT = {"DFF": "SDFF"}
+
+
+@dataclass
+class ScanChain:
+    """One stitched chain (we build a single chain per design)."""
+
+    elements: list[str] = field(default_factory=list)    # instance names
+    scan_in_port: str = "scan_in"
+    scan_out_port: str = "scan_out"
+    scan_enable_port: str = "scan_enable"
+
+    @property
+    def length(self) -> int:
+        return len(self.elements)
+
+
+def insert_scan(design: Design) -> ScanChain:
+    """Swap flops to scan flops and stitch one chain (in place).
+
+    Must run after placement (stitch order is placement-driven) and
+    before routing, so the scan nets get routed with everything else.
+    Idempotent: re-running on a scanned design raises.
+    """
+    netlist = design.netlist
+    if "scan_enable" in netlist.ports:
+        raise DFTError(f"design {netlist.name} already has scan inserted")
+    if design.routing is not None:
+        raise DFTError("insert scan before routing, not after")
+    placement = design.require_placement()
+    tiers = design.require_tiers()
+
+    flops: list[Instance] = []
+    for inst in netlist.sequential_instances():
+        if inst.is_macro:
+            continue
+        scan_name = _SCAN_EQUIVALENT.get(inst.cell.name)
+        if scan_name is not None:
+            region = inst.attrs.get("region", "logic")
+            lib = design.tech.libraries[region]
+            netlist.swap_cell(inst, lib.get(scan_name))
+        elif not inst.cell.is_scannable:
+            continue
+        flops.append(inst)
+    if not flops:
+        raise DFTError("no scannable flops found")
+
+    # Placement-ordered snake: sort by (tier, row, serpentine x).
+    def key(inst: Instance):
+        loc = placement.of_instance(inst.name)
+        row = int(loc.y)
+        x = loc.x if row % 2 == 0 else -loc.x
+        return (loc.tier, row, x, inst.name)
+
+    flops.sort(key=key)
+
+    se_port = netlist.add_port("scan_enable", "in", false_path=True)
+    se_net = netlist.add_net("scan_enable_net")
+    se_net.attach(se_port.pin)
+    si_port = netlist.add_port("scan_in", "in", false_path=True)
+    prev_net = netlist.add_net("scan_in_net")
+    prev_net.attach(si_port.pin)
+
+    for inst in flops:
+        si = inst.pin("SI")
+        se = inst.pin("SE")
+        # Clear placeholder hookups left by the builder, if any.
+        if si.net is not None:
+            si.net.detach(si)
+        if se.net is not None:
+            se.net.detach(se)
+        prev_net.attach(si)
+        se_net.attach(se)
+        prev_net = inst.output_pin.net
+        if prev_net is None:
+            raise DFTError(f"scan flop {inst.name} has a dangling Q")
+
+    so_port = netlist.add_port("scan_out", "out", false_path=True)
+    prev_net.attach(so_port.pin)
+
+    chain = ScanChain(elements=[f.name for f in flops])
+    design.notes["scan_chain"] = chain
+    # New ports need placement/tier bookkeeping.
+    fp = design.require_floorplan()
+    for port_name, frac in (("scan_enable", 0.1), ("scan_in", 0.2),
+                            ("scan_out", 0.8)):
+        tiers.set_port(port_name, 0)
+        placement.set_port(port_name, fp.width * frac, 0.0)
+    return chain

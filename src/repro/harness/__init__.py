@@ -1,0 +1,44 @@
+"""Experiment harness: canonical designs, tables, figures.
+
+Single home for the benchmark configurations (which MAERI/A7 scale
+maps to which paper benchmark, at which target frequency) and for the
+code that regenerates every table and figure of the evaluation —
+shared by ``benchmarks/`` and ``examples/`` so numbers never drift
+between the two.
+"""
+
+from repro.harness.designs import (
+    BenchmarkSpec,
+    BENCHMARKS,
+    get_benchmark,
+)
+from repro.harness.tables import (
+    flow_comparison_rows,
+    format_table,
+    table1_single_net,
+    table3_dft_comparison,
+    table4_heterogeneous,
+    table5_homogeneous,
+    table6_testable,
+)
+from repro.harness.figures import (
+    fig2_violation_points,
+    fig8_timing_series,
+    fig9_irdrop_map,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "get_benchmark",
+    "flow_comparison_rows",
+    "format_table",
+    "table1_single_net",
+    "table3_dft_comparison",
+    "table4_heterogeneous",
+    "table5_homogeneous",
+    "table6_testable",
+    "fig2_violation_points",
+    "fig8_timing_series",
+    "fig9_irdrop_map",
+]

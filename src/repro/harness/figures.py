@@ -1,0 +1,90 @@
+"""Figure builders — data series for Figures 2, 8 and 9.
+
+Figures are emitted as data (counts, series, maps) rather than images:
+the paper's figures plot exactly these series, and keeping benches
+plot-free avoids a matplotlib dependency offline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness.designs import DEFAULT_EXPERIMENT_SEED, get_benchmark
+from repro.harness.tables import (flow_comparison_rows, run_benchmark_flow,
+                                  table4_heterogeneous, table5_homogeneous)
+from repro.pdn import build_pdn, solve_irdrop, size_pdn
+from repro.power import default_power_plan
+
+
+def fig2_violation_points(benchmark_key: str = "maeri128_hetero",
+                          seed: int = DEFAULT_EXPERIMENT_SEED
+                          ) -> dict[str, dict[str, float]]:
+    """Figure 2: violating registers per flow + reduction vs No MLS.
+
+    Paper: SOTA reduces violation points by 68 %, GNN-MLS by 80 %.
+    """
+    rows = flow_comparison_rows(benchmark_key, seed=seed)
+    base = max(rows["none"]["vio_paths"], 1)
+    out: dict[str, dict[str, float]] = {}
+    for flow, row in rows.items():
+        vio = row["vio_paths"]
+        out[flow] = {
+            "violation_points": vio,
+            "reduction_pct": 100.0 * (1.0 - vio / base),
+        }
+    return out
+
+
+def fig8_timing_series(seed: int = DEFAULT_EXPERIMENT_SEED
+                       ) -> dict[str, dict[str, dict[str, float]]]:
+    """Figure 8: WNS / TNS / #violations series per benchmark x flow.
+
+    Same data as Tables IV/V, reshaped into plottable series (the
+    flow-cache makes this free when the tables already ran).
+    """
+    series: dict[str, dict[str, dict[str, float]]] = {}
+    tables = {**table4_heterogeneous(seed), **table5_homogeneous(seed)}
+    for bench, rows in tables.items():
+        series[bench] = {
+            flow: {
+                "wns_ps": row["wns_ps"],
+                "tns_ns": row["tns_ns"],
+                "vio_paths": row["vio_paths"],
+            }
+            for flow, row in rows.items()
+        }
+    return series
+
+
+def fig9_irdrop_map(benchmark_key: str = "maeri128_hetero",
+                    seed: int = DEFAULT_EXPERIMENT_SEED
+                    ) -> dict[str, object]:
+    """Figure 9: the hetero IR-drop map + top-layer resource split.
+
+    Returns the logic-tier drop map in millivolts (the paper shows a
+    92 mV peak for hetero MAERI-128), the chosen PDN geometry, and the
+    top-pair routing utilization left to signal/MLS nets.
+    """
+    report = run_benchmark_flow(get_benchmark(benchmark_key), "gnn",
+                                seed=seed)
+    design = report.design
+    plan = default_power_plan(design)
+    sizing = report.pdn or size_pdn(design, plan=plan)
+    grid = build_pdn(design, sizing.config, tier=0,
+                     vdd=plan.domain_of_tier(0).vdd)
+    ir = solve_irdrop(design, grid, plan)
+    routing = design.require_routing()
+    top0 = routing.grid.top_pair(0)
+    top1 = routing.grid.top_pair(1)
+    return {
+        "drop_map_mv": ir.drop_map_mv(),
+        "peak_drop_mv": float(ir.drop_map_mv().max()),
+        "pdn_width_um": sizing.config.width_um,
+        "pdn_pitch_um": sizing.config.pitch_um,
+        "pdn_util_pct": 100.0 * sizing.config.utilization,
+        "signal_top_util_logic_pct":
+            100.0 * routing.grid.utilization(0, top0),
+        "signal_top_util_memory_pct":
+            100.0 * routing.grid.utilization(1, top1),
+        "mls_nets_on_shared_layer": len(routing.mls_applied_nets()),
+    }

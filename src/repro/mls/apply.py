@@ -1,0 +1,50 @@
+"""Turning an MLS net selection into a routed design."""
+
+from __future__ import annotations
+
+from repro.design import Design
+from repro.route.router import GlobalRouter, RouteConfig, RoutingResult
+
+
+def route_with_mls(design: Design, mls_nets: set[str],
+                   config: RouteConfig | None = None
+                   ) -> tuple[GlobalRouter, RoutingResult]:
+    """Route the whole design from scratch with *mls_nets* shared.
+
+    A fresh full route is the faithful evaluation: it captures not
+    only the selected nets' own delay changes but also the congestion
+    relief they grant everyone else on the home tier (and the shared-
+    resource pressure they put on the other tier — how SOTA's
+    over-application backfires).
+    """
+    router = GlobalRouter(design, config)
+    result = router.route_all(mls_nets=mls_nets)
+    return router, result
+
+
+def apply_mls_incremental(design: Design, router: GlobalRouter,
+                          result: RoutingResult,
+                          add: set[str] = frozenset(),
+                          remove: set[str] = frozenset()) -> RoutingResult:
+    """Toggle MLS on individual nets of an existing routing.
+
+    Cheaper than a full re-route; used by the targeted-routing stage
+    for ECO-style adjustments and by Table I's single-net experiment.
+    Nets are processed longest-first so trunk edges claim shared
+    resources in the same priority order as the full route.
+    """
+    netlist = design.netlist
+    both = add & remove
+    if both:
+        raise ValueError(f"nets both added and removed: {sorted(both)[:3]}")
+
+    def hpwl(name: str) -> float:
+        net = netlist.net(name)
+        x0, y0, x1, y1 = design.require_placement().net_bbox(net)
+        return (x1 - x0) + (y1 - y0)
+
+    for name in sorted(remove, key=lambda n: (-hpwl(n), n)):
+        router.reroute_net(result, netlist.net(name), mls=False)
+    for name in sorted(add, key=lambda n: (-hpwl(n), n)):
+        router.reroute_net(result, netlist.net(name), mls=True)
+    return result

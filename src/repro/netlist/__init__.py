@@ -1,0 +1,19 @@
+"""Netlist data model and benchmark design generators.
+
+The structural model is deliberately small: :class:`Pin`, :class:`Net`
+(a hyperedge with one driver and N sinks), :class:`Instance` (a placed
+occurrence of a :class:`~repro.tech.cells.CellType`), :class:`Port`
+(top-level I/O) and the :class:`Netlist` container that owns them and
+enforces consistency.
+
+Generators under :mod:`repro.netlist.generators` synthesize the three
+benchmark architectures of the paper (MAERI-like accelerator fabrics
+and an A7-like dual-core) at simulator scale.
+"""
+
+from repro.netlist.net import Pin, Net, Port
+from repro.netlist.cell import Instance
+from repro.netlist.netlist import Netlist
+from repro.netlist.builder import NetlistBuilder
+
+__all__ = ["Pin", "Net", "Port", "Instance", "Netlist", "NetlistBuilder"]

@@ -1,0 +1,173 @@
+"""Fluent construction helper for netlists.
+
+Generators express structure as ``builder.gate("NAND2", a, b)`` and get
+back the output net; the builder manufactures instance and net names,
+connects pins, and tracks region/module tags.  This keeps the
+architecture generators readable — they describe *what* is built, not
+the bookkeeping.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.errors import NetlistError
+from repro.netlist.cell import Instance
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.tech.library import CellLibrary
+
+
+class NetlistBuilder:
+    """Builds a :class:`Netlist` against one or two cell libraries.
+
+    ``libraries`` maps region tag -> library; gate calls use the
+    *current region*'s library, so a heterogeneous design is built by
+    switching regions (see :meth:`region`).
+    """
+
+    def __init__(self, name: str, libraries: dict[str, CellLibrary]):
+        if not libraries:
+            raise NetlistError("builder needs at least one library")
+        self.netlist = Netlist(name)
+        self.libraries = dict(libraries)
+        self._region = next(iter(libraries))
+        self._module_stack: list[str] = []
+
+    # -- context -----------------------------------------------------------
+
+    @property
+    def current_region(self) -> str:
+        return self._region
+
+    @contextmanager
+    def region(self, tag: str):
+        """Temporarily switch to another region/library."""
+        if tag not in self.libraries:
+            raise NetlistError(f"unknown region {tag!r}; "
+                               f"known: {sorted(self.libraries)}")
+        prev, self._region = self._region, tag
+        try:
+            yield self
+        finally:
+            self._region = prev
+
+    @contextmanager
+    def module(self, name: str):
+        """Push a hierarchical name prefix for generated instances."""
+        self._module_stack.append(name)
+        try:
+            yield self
+        finally:
+            self._module_stack.pop()
+
+    def _prefixed(self, base: str) -> str:
+        if not self._module_stack:
+            return base
+        return "/".join(self._module_stack) + "/" + base
+
+    # -- primitives -----------------------------------------------------------
+
+    def wire(self, hint: str = "n") -> Net:
+        """A fresh signal net."""
+        return self.netlist.add_net(
+            self.netlist.fresh_name(self._prefixed(hint)))
+
+    def clock_net(self, name: str = "clk") -> Net:
+        if name in self.netlist.nets:
+            return self.netlist.net(name)
+        return self.netlist.add_net(name, is_clock=True)
+
+    def input(self, name: str, tier_hint: int = 0) -> Net:
+        """Add an input port and return the net it drives."""
+        port = self.netlist.add_port(name, "in", tier_hint=tier_hint)
+        net = self.netlist.add_net(self.netlist.fresh_name(f"{name}_net"))
+        net.attach(port.pin)
+        return net
+
+    def output(self, name: str, net: Net, cap_ff: float = 2.0,
+               tier_hint: int = 0) -> None:
+        """Add an output port fed by *net*."""
+        port = self.netlist.add_port(name, "out", cap_ff=cap_ff,
+                                     tier_hint=tier_hint)
+        net.attach(port.pin)
+
+    def instance(self, cell_name: str, inst_hint: str = "u") -> Instance:
+        """Create an unconnected instance of *cell_name* in the current
+        region's library, tagged with region and module attrs."""
+        lib = self.libraries[self._region]
+        cell = lib.get(cell_name)
+        name = self.netlist.fresh_name(self._prefixed(inst_hint))
+        inst = self.netlist.add_instance(name, cell)
+        inst.attrs["region"] = self._region
+        if self._module_stack:
+            inst.attrs["module"] = "/".join(self._module_stack)
+        return inst
+
+    def gate(self, cell_name: str, *input_nets: Net,
+             out: Net | None = None, hint: str | None = None) -> Net:
+        """Instantiate a combinational gate; returns its output net.
+
+        >>> # y = NAND(a, b)
+        >>> # y = builder.gate("NAND2", a, b)
+        """
+        inst = self.instance(cell_name, hint or cell_name.lower())
+        declared = inst.cell.inputs
+        if len(input_nets) != len(declared):
+            raise NetlistError(
+                f"{cell_name} takes {len(declared)} inputs, got "
+                f"{len(input_nets)}")
+        for pin_name, net in zip(declared, input_nets):
+            net.attach(inst.pin(pin_name))
+        out_net = out if out is not None else self.wire(f"{inst.name}_y")
+        out_net.attach(inst.output_pin)
+        return out_net
+
+    def flop(self, d_net: Net, clock: Net, cell_name: str = "DFF",
+             hint: str = "ff", out: Net | None = None) -> Net:
+        """Instantiate a flip-flop capturing *d_net*; returns the Q net.
+
+        Scan flops (``SDFF``) get their SI/SE inputs tied to the D net
+        as placeholders until scan stitching rewires them — this keeps
+        the netlist valid at every step.
+        """
+        inst = self.instance(cell_name, hint)
+        d_net.attach(inst.pin("D"))
+        clock.attach(inst.clock_pin)
+        for extra in ("SI", "SE"):
+            if extra in inst.pins and inst.pins[extra].direction == "in":
+                d_net.attach(inst.pins[extra])
+        q_net = out if out is not None else self.wire(f"{inst.name}_q")
+        q_net.attach(inst.output_pin)
+        return q_net
+
+    def register_word(self, d_nets: list[Net], clock: Net,
+                      cell_name: str = "DFF", hint: str = "reg") -> list[Net]:
+        """A bank of flops, one per bit; returns the Q nets."""
+        return [self.flop(d, clock, cell_name=cell_name, hint=f"{hint}{i}")
+                for i, d in enumerate(d_nets)]
+
+    def buffer_tree(self, root: Net, fanout_nets: int, hint: str = "bt",
+                    cell_name: str = "BUF_X4", radix: int = 4) -> list[Net]:
+        """Build a *radix*-ary buffer tree from *root* to *fanout_nets*
+        leaf nets; returns the leaf nets (length == fanout_nets).
+
+        Used for MAERI's distribution tree and for clock-ish fanout
+        structures without real CTS.
+        """
+        if fanout_nets <= 0:
+            raise NetlistError("buffer_tree needs a positive fanout")
+        from collections import deque
+        leaves: deque[Net] = deque([root])
+        while len(leaves) < fanout_nets:
+            parent = leaves.popleft()
+            needed = fanout_nets - len(leaves)
+            branches = min(radix, max(2, needed))
+            for _ in range(branches):
+                leaves.append(self.gate(cell_name, parent, hint=hint))
+        return list(leaves)[:fanout_nets]
+
+    def done(self) -> Netlist:
+        """Validate and return the built netlist."""
+        self.netlist.validate()
+        return self.netlist

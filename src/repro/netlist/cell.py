@@ -1,0 +1,60 @@
+"""Cell instances."""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.net import Pin
+from repro.tech.cells import CellType
+
+
+class Instance:
+    """A placed occurrence of a :class:`~repro.tech.cells.CellType`.
+
+    ``attrs`` is a free-form dict the generators use to tag instances
+    with architecture hints (``region``: "logic"/"memory", ``module``:
+    hierarchical origin) that the tier partitioner consumes.
+    """
+
+    __slots__ = ("name", "cell", "pins", "attrs")
+
+    def __init__(self, name: str, cell: CellType):
+        self.name = name
+        self.cell = cell
+        self.pins: dict[str, Pin] = {}
+        for spec in cell.pins():
+            self.pins[spec.name] = Pin(spec.name, spec.direction,
+                                       owner=self, cap_ff=spec.cap_ff)
+        self.attrs: dict[str, str] = {}
+
+    def pin(self, name: str) -> Pin:
+        try:
+            return self.pins[name]
+        except KeyError:
+            raise NetlistError(
+                f"instance {self.name} ({self.cell.name}) has no pin "
+                f"{name!r}; pins: {sorted(self.pins)}") from None
+
+    @property
+    def output_pin(self) -> Pin:
+        return self.pins[self.cell.output]
+
+    def input_pins(self) -> list[Pin]:
+        """Data input pins in the cell's declared order (excludes clock)."""
+        return [self.pins[name] for name in self.cell.inputs]
+
+    @property
+    def clock_pin(self) -> Pin | None:
+        if self.cell.clock_pin is None:
+            return None
+        return self.pins[self.cell.clock_pin]
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.cell.is_sequential
+
+    @property
+    def is_macro(self) -> bool:
+        return self.cell.is_macro
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Instance({self.name}:{self.cell.name})"

@@ -1,0 +1,22 @@
+"""Benchmark netlist generators.
+
+Synthesizes the paper's three benchmark architectures at simulator
+scale: MAERI-like reconfigurable accelerator fabrics (16/128/256 PE)
+and an A7-like dual-core processor.  Each generator tags instances
+with ``region`` = "logic"/"memory" so the memory-on-logic partitioner
+can split them onto tiers exactly as the Macro-3D flow does.
+"""
+
+from repro.netlist.generators.random_logic import random_cloud
+from repro.netlist.generators.sram import sram_bank
+from repro.netlist.generators.maeri import generate_maeri, MaeriConfig
+from repro.netlist.generators.a7 import generate_a7_dual_core, A7Config
+
+__all__ = [
+    "random_cloud",
+    "sram_bank",
+    "generate_maeri",
+    "MaeriConfig",
+    "generate_a7_dual_core",
+    "A7Config",
+]

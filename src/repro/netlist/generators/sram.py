@@ -1,0 +1,51 @@
+"""SRAM bank wrapper.
+
+Wraps the ``SRAM_1KX32`` macro with the address/data-in registers and
+data-out buffering a memory compiler's bank interface provides, so the
+macro participates in timing like a real memory: reg -> macro ->
+long wire -> consumer paths are exactly the cross-tier paths the paper
+optimizes with MLS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.net import Net
+
+
+def sram_bank(builder: NetlistBuilder, name: str, clock: Net,
+              data_in: Net, addr_nets: list[Net], we_net: Net,
+              out_width: int, rng: np.random.Generator) -> list[Net]:
+    """Instantiate one SRAM bank; returns *out_width* data-out nets.
+
+    The macro has a single Q output (our macros are single-output cells
+    like all library cells); the bank fans it out through an output
+    buffer/invert stage into ``out_width`` bit nets, which is how
+    word-line data reaches multiple consumers.
+    """
+    with builder.module(name):
+        # Input-side registers (address + data + write-enable).
+        d_q = builder.flop(data_in, clock, hint="din_reg")
+        addr_q = [builder.flop(a, clock, hint=f"addr_reg{i}")
+                  for i, a in enumerate(addr_nets[:3])]
+        while len(addr_q) < 3:
+            addr_q.append(addr_q[-1])
+        we_q = builder.flop(we_net, clock, hint="we_reg")
+
+        macro = builder.instance("SRAM_1KX32", "bank")
+        d_q.attach(macro.pin("D"))
+        for pin_name, net in zip(("A0", "A1", "A2"), addr_q):
+            net.attach(macro.pin(pin_name))
+        we_q.attach(macro.pin("WE"))
+        clock.attach(macro.clock_pin)
+        q_net = builder.wire("bank_q")
+        q_net.attach(macro.output_pin)
+
+        # Output buffering: alternate BUF/INV to vary polarity.
+        outs: list[Net] = []
+        for i in range(out_width):
+            cell = "BUF" if rng.random() < 0.7 else "INV"
+            outs.append(builder.gate(cell, q_net, hint=f"dout{i}"))
+        return outs

@@ -1,0 +1,44 @@
+"""A small reverse-mode autograd framework on NumPy.
+
+Replaces PyTorch/PyG for this reproduction (no network access, no GPU
+needed at our scale).  Provides the pieces GNN-MLS requires: a
+:class:`~repro.nn.tensor.Tensor` with broadcasting-aware backprop,
+Linear/LayerNorm/multi-head-attention/Transformer layers, Adam, and
+deterministic parameter (de)serialization.  The model is tiny (3
+layers x 3 heads on <=64-dim embeddings), so NumPy trains it in
+seconds, bit-reproducibly.
+"""
+
+from repro.nn.tensor import Tensor
+from repro.nn import functional
+from repro.nn.layers import (
+    Module,
+    Linear,
+    LayerNorm,
+    MLP,
+    MultiHeadSelfAttention,
+    TransformerEncoderLayer,
+    TransformerEncoder,
+    positional_encoding,
+)
+from repro.nn.optim import SGD, Adam
+from repro.nn.init import xavier_uniform
+from repro.nn.serialize import save_params, load_params
+
+__all__ = [
+    "Tensor",
+    "functional",
+    "Module",
+    "Linear",
+    "LayerNorm",
+    "MLP",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "positional_encoding",
+    "SGD",
+    "Adam",
+    "xavier_uniform",
+    "save_params",
+    "load_params",
+]

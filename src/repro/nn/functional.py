@@ -1,0 +1,45 @@
+"""Loss functions and stateless helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: Tensor,
+                                     pos_weight: float = 1.0) -> Tensor:
+    """Numerically-stable BCE on raw logits.
+
+    ``pos_weight`` scales the positive-class term, the standard recipe
+    for the imbalanced MLS labels (most nets should not share).
+    """
+    # log(1 + exp(x)) == softplus(x); build it stably from primitives.
+    probs = logits.sigmoid()
+    eps = 1e-7
+    p = probs * (1.0 - 2 * eps) + eps
+    loss = -(targets * p.log() * pos_weight
+             + (1.0 - targets) * (1.0 - p).log())
+    return loss.mean()
+
+
+def dgi_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Deep Graph Infomax objective (paper Eq. 3, standard BCE form).
+
+    Positive node/summary scores are pushed toward 1, corrupted-node
+    scores toward 0; both passed through the sigmoid that the paper
+    adopts "to map inner product to probability and aid training
+    stability".
+    """
+    eps = 1e-7
+    pos = pos_scores.sigmoid() * (1.0 - 2 * eps) + eps
+    neg = neg_scores.sigmoid() * (1.0 - 2 * eps) + eps
+    pos_term = pos.log().mean()
+    neg_term = (1.0 - neg).log().mean()
+    return -(pos_term + neg_term)
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of correct binary predictions at threshold 0."""
+    pred = (logits >= 0.0).astype(np.float64)
+    return float((pred == targets).mean())

@@ -1,0 +1,31 @@
+"""Parameter (de)serialization to .npz."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_params(module: Module, path: str | Path) -> None:
+    """Save all parameters of *module* by stable name."""
+    named = module.named_parameters()
+    np.savez(Path(path), **{k: p.data for k, p in named.items()})
+
+
+def load_params(module: Module, path: str | Path) -> None:
+    """Load parameters saved by :func:`save_params` (shape-checked)."""
+    archive = np.load(Path(path))
+    named = module.named_parameters()
+    missing = set(named) - set(archive.files)
+    if missing:
+        raise ValueError(f"checkpoint missing parameters: {sorted(missing)[:4]}")
+    for key, param in named.items():
+        data = archive[key]
+        if data.shape != param.data.shape:
+            raise ValueError(
+                f"shape mismatch for {key}: checkpoint {data.shape} vs "
+                f"model {param.data.shape}")
+        param.data = data.astype(np.float64)

@@ -1,0 +1,13 @@
+"""Netlist optimization passes (physical-synthesis lite).
+
+Commercial pseudo-3D flows rely on the 2D engine's buffering and
+sizing; our reproduction provides the minimum equivalent so the timing
+regime matches: :mod:`repro.opt.buffering` inserts repeaters on long
+and high-fanout nets after placement, exactly once per design, shared
+by every MLS flavor (No-MLS / SOTA / GNN route the *same* buffered
+netlist, as in the paper's flow).
+"""
+
+from repro.opt.buffering import BufferingStats, buffer_nets, insert_buffers
+
+__all__ = ["BufferingStats", "buffer_nets", "insert_buffers"]

@@ -1,0 +1,239 @@
+"""Post-placement repeater insertion.
+
+Two transforms, applied net by net (clock nets excluded):
+
+1. **Fanout clustering** — sinks are bucketed into square clusters of
+   side ``l_buf``; every cluster that is far from the driver (or when
+   the net exceeds the fanout cap) gets a buffer at its centroid, and
+   the cluster's sinks move behind it.
+2. **Repeater chains** — any remaining sink farther than ``l_buf``
+   (manhattan) from the driver gets buffers every ``l_buf`` along the
+   L-path toward it.
+
+Inserted buffers are placed at their geometric target (gcell-level
+accuracy is all routing needs), assigned to the driver's tier, and
+tagged ``attrs["buffered"]`` for reporting.  The pass is deterministic
+and idempotent for nets it has already shortened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.design import Design
+from repro.errors import PlacementError
+from repro.netlist.net import Net, Pin
+from repro.netlist.netlist import Netlist
+
+#: Default maximum unbuffered manhattan span, um.
+DEFAULT_L_BUF_UM = 40.0
+#: Default maximum sinks a single driver serves directly.
+DEFAULT_MAX_FANOUT = 8
+#: Library cell used as repeater.
+BUFFER_CELL = "BUF_X4"
+
+
+@dataclass
+class BufferingStats:
+    """What the pass did — reported in flow summaries."""
+
+    nets_processed: int = 0
+    nets_buffered: int = 0
+    buffers_added: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (f"buffered {self.nets_buffered}/{self.nets_processed} nets "
+                f"with {self.buffers_added} repeaters")
+
+
+def _manhattan(a: tuple[float, float], b: tuple[float, float]) -> float:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+class _Inserter:
+    """Shared machinery: creates placed, tier-assigned buffers."""
+
+    def __init__(self, design: Design):
+        self.design = design
+        self.netlist = design.netlist
+        self.placement = design.require_placement()
+        self.tiers = design.require_tiers()
+        self.stats = BufferingStats()
+
+    def _library_for_tier(self, tier: int):
+        region = "logic" if tier == 0 else "memory"
+        return self.design.tech.libraries[region]
+
+    def new_buffer(self, x: float, y: float, tier: int) -> tuple:
+        """Create a placed buffer; returns (instance, in_pin, out_net)."""
+        netlist = self.netlist
+        lib = self._library_for_tier(tier)
+        cell = lib.get(BUFFER_CELL)
+        inst = netlist.add_instance(netlist.fresh_name("rbuf"), cell)
+        inst.attrs["region"] = "logic" if tier == 0 else "memory"
+        inst.attrs["buffered"] = "1"
+        self.tiers.set_instance(inst.name, tier)
+        fp = self.design.require_floorplan()
+        cx, cy = fp.clamp(x, y)
+        self.placement.set_instance(inst.name, cx, cy)
+        out_net = netlist.add_net(netlist.fresh_name(f"{inst.name}_y"))
+        out_net.attach(inst.output_pin)
+        self.stats.buffers_added += 1
+        return inst, inst.pin("A"), out_net
+
+    def loc_of(self, pin: Pin) -> tuple[float, float]:
+        loc = self.placement.of_pin(pin)
+        return loc.x, loc.y
+
+    def tier_of(self, pin: Pin) -> int:
+        return self.placement.of_pin(pin).tier
+
+
+def insert_buffers(design: Design, l_buf_um: float = DEFAULT_L_BUF_UM,
+                   max_fanout: int = DEFAULT_MAX_FANOUT) -> BufferingStats:
+    """Run the pass over every signal net of *design* (in place).
+
+    Must run after placement and before routing; raises if unplaced.
+    """
+    if l_buf_um <= 0:
+        raise PlacementError("l_buf_um must be positive")
+    if max_fanout < 2:
+        raise PlacementError("max_fanout must be >= 2")
+    ins = _Inserter(design)
+    # Materialize the net list first: the pass adds nets as it runs.
+    nets = list(design.netlist.signal_nets())
+    for net in nets:
+        ins.stats.nets_processed += 1
+        before = ins.stats.buffers_added
+        _buffer_net(ins, net, l_buf_um, max_fanout)
+        if ins.stats.buffers_added > before:
+            ins.stats.nets_buffered += 1
+    design.notes["buffering"] = ins.stats
+    return ins.stats
+
+
+def buffer_nets(design: Design, net_names: Iterable[str],
+                l_buf_um: float = DEFAULT_L_BUF_UM,
+                max_fanout: int = DEFAULT_MAX_FANOUT) -> BufferingStats:
+    """Run the repeater pass on a specific net set (ECO buffering).
+
+    Used after post-routing surgery (the MLS DFT repairs) to restore
+    drive on the rebuilt nets.  New buffer output nets are created
+    unrouted; the caller routes them.
+    """
+    ins = _Inserter(design)
+    for name in net_names:
+        net = design.netlist.net(name)
+        if net.is_clock:
+            continue
+        ins.stats.nets_processed += 1
+        before = ins.stats.buffers_added
+        _buffer_net(ins, net, l_buf_um, max_fanout)
+        if ins.stats.buffers_added > before:
+            ins.stats.nets_buffered += 1
+    return ins.stats
+
+
+def _buffer_net(ins: _Inserter, root: Net, l_buf: float,
+                max_fanout: int) -> None:
+    """Recursive buffer-tree construction for one net.
+
+    A worklist of nets; each is clustered geometrically until it obeys
+    both the fanout cap and the span limit, with sub-cluster nets
+    re-queued.  Finally any still-distant sink gets a repeater chain.
+    """
+    # Scan-shift (SI) and static test/scan-enable sinks are exempt:
+    # they are false paths, and restructuring them would break the
+    # stitched scan chain.  Nets driven by false-path ports (test
+    # mode, scan enable) are skipped wholesale.
+    drv = root.driver
+    if drv is not None and drv.port is not None and drv.port.false_path:
+        return
+    worklist = [root]
+    while worklist:
+        net = worklist.pop()
+        driver = net.driver
+        if driver is None:
+            continue
+        dloc = ins.loc_of(driver)
+        dtier = ins.tier_of(driver)
+        sinks = [s for s in net.sinks if s.name not in ("SI", "SE")]
+        far = [s for s in sinks
+               if _manhattan(dloc, ins.loc_of(s)) > l_buf]
+        if len(sinks) <= max_fanout and not far:
+            continue
+        if len(sinks) > 2:
+            # Quadrant-split the sink bbox into up to 4 groups; each
+            # multi-sink group goes behind a centroid buffer and is
+            # re-queued (its span halves every level, so this
+            # terminates).  Coincident sinks split by count instead.
+            locs = {s.full_name: ins.loc_of(s) for s in sinks}
+            xs = [l[0] for l in locs.values()]
+            ys = [l[1] for l in locs.values()]
+            span = (max(xs) - min(xs)) + (max(ys) - min(ys))
+            groups: list[list[Pin]]
+            if span < 1.0:
+                groups = [sinks[i:i + max_fanout]
+                          for i in range(0, len(sinks), max_fanout)]
+            else:
+                xm = (max(xs) + min(xs)) / 2.0
+                ym = (max(ys) + min(ys)) / 2.0
+                quad: dict[tuple[bool, bool], list[Pin]] = {}
+                for s in sinks:
+                    lx, ly = locs[s.full_name]
+                    quad.setdefault((lx >= xm, ly >= ym), []).append(s)
+                groups = [quad[k] for k in sorted(quad)]
+            if len(groups) > 1 or len(groups[0]) < len(sinks):
+                for group in groups:
+                    if len(group) == 1 and _manhattan(
+                            dloc, ins.loc_of(group[0])) <= l_buf:
+                        continue    # already fine directly on the root
+                    cx = sum(ins.loc_of(s)[0] for s in group) / len(group)
+                    cy = sum(ins.loc_of(s)[1] for s in group) / len(group)
+                    _, in_pin, out_net = ins.new_buffer(cx, cy, dtier)
+                    for s in group:
+                        net.detach(s)
+                        out_net.attach(s)
+                    net.attach(in_pin)
+                    worklist.append(out_net)
+                # Root net now feeds <= 4 group buffers (+ near
+                # singles); fall through to the chain step below.
+        _chain_long_sinks(ins, net, l_buf)
+
+
+def _chain_long_sinks(ins: _Inserter, net: Net, l_buf: float) -> None:
+    """Step 2: repeater chains toward any still-distant sink."""
+    driver = net.driver
+    if driver is None:
+        return
+    dloc = ins.loc_of(driver)
+    dtier = ins.tier_of(driver)
+    for sink in list(net.sinks):
+        if sink.name in ("SI", "SE"):
+            continue
+        sloc = ins.loc_of(sink)
+        dist = _manhattan(dloc, sloc)
+        if dist <= l_buf:
+            continue
+        hops = int(dist // l_buf)
+        # Walk the L-path (x first then y), dropping a repeater every
+        # l_buf; each repeater feeds the next, the last feeds the sink.
+        current_net = net
+        for h in range(1, hops + 1):
+            t = h * l_buf / dist
+            # Parametric point along the L-path.
+            x_leg = abs(sloc[0] - dloc[0])
+            walked = t * dist
+            if walked <= x_leg:
+                px = dloc[0] + (walked if sloc[0] >= dloc[0] else -walked)
+                py = dloc[1]
+            else:
+                rem = walked - x_leg
+                px = sloc[0]
+                py = dloc[1] + (rem if sloc[1] >= dloc[1] else -rem)
+            _, in_pin, out_net = ins.new_buffer(px, py, dtier)
+            current_net.attach(in_pin)
+            current_net = out_net
+        net.detach(sink)
+        current_net.attach(sink)

@@ -1,0 +1,186 @@
+"""Fiduccia–Mattheyses min-cut bipartitioning.
+
+A single-pass-iterated FM with gain buckets over the netlist
+hypergraph.  Used two ways:
+
+* :func:`fm_bipartition` — balanced 2-way split from scratch (general
+  substrate capability, exercised by tests and available to users who
+  want logic-on-logic stacking experiments);
+* :func:`fm_refine` — refine an existing :class:`TierAssignment`
+  (e.g. the memory-on-logic seed) while keeping *locked* instances
+  (macros) in place, reducing the number of cross-tier (F2F) nets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.netlist.netlist import Netlist
+from repro.partition.tier import TierAssignment
+
+
+def _net_side_counts(netlist: Netlist, side: dict[str, int]):
+    """Per net: how many of its instance pins sit on each side.
+
+    Port pins are ignored by FM (ports are immovable pads); nets with
+    pins on only one instance side can still be cut by port placement,
+    but FM optimizes the instance-induced cut, which dominates.
+    """
+    counts: dict[str, list[int]] = {}
+    for net in netlist.signal_nets():
+        c = [0, 0]
+        for pin in net.pins():
+            if pin.owner is not None:
+                c[side[pin.owner.name]] += 1
+        counts[net.name] = c
+    return counts
+
+
+def _gain(netlist: Netlist, inst_name: str, side: dict[str, int],
+          counts: dict[str, list[int]]) -> int:
+    """FM gain of moving *inst_name* to the other side."""
+    inst = netlist.instance(inst_name)
+    s = side[inst_name]
+    gain = 0
+    seen: set[str] = set()
+    for pin in inst.pins.values():
+        net = pin.net
+        if net is None or net.is_clock or net.name in seen:
+            continue
+        seen.add(net.name)
+        c = counts[net.name]
+        if c[s] == 1 and c[1 - s] > 0:
+            gain += 1          # move uncuts the net
+        elif c[1 - s] == 0 and c[s] > 1:
+            gain -= 1          # move newly cuts the net
+    return gain
+
+
+def cut_size(netlist: Netlist, side: dict[str, int]) -> int:
+    """Number of signal nets with instance pins on both sides."""
+    counts = _net_side_counts(netlist, side)
+    return sum(1 for c in counts.values() if c[0] > 0 and c[1] > 0)
+
+
+def _fm_pass(netlist: Netlist, side: dict[str, int], area: dict[str, float],
+             locked: set[str], balance: tuple[float, float]) -> int:
+    """One FM pass: tentatively move every free cell once in best-gain
+    order, then roll back to the best prefix.  Returns the cut
+    improvement achieved (>= 0)."""
+    counts = _net_side_counts(netlist, side)
+    free = [n for n in netlist.instances if n not in locked]
+    gains = {n: _gain(netlist, n, side, counts) for n in free}
+    area_side = [0.0, 0.0]
+    for name, s in side.items():
+        area_side[s] += area[name]
+    total_area = sum(area_side)
+    lo, hi = balance
+
+    moved_order: list[str] = []
+    cum_gain = 0
+    best_gain, best_idx = 0, -1
+    moved: set[str] = set()
+    # Gain-bucket structure: dict gain -> list of candidates.
+    buckets: dict[int, list[str]] = defaultdict(list)
+    for n, g in gains.items():
+        buckets[g].append(n)
+
+    def pop_best() -> str | None:
+        for g in sorted(buckets, reverse=True):
+            bucket = buckets[g]
+            while bucket:
+                cand = bucket.pop()
+                if cand in moved or gains[cand] != g:
+                    continue
+                s = side[cand]
+                new_from = area_side[s] - area[cand]
+                new_to = area_side[1 - s] + area[cand]
+                if not (lo * total_area <= new_to <= hi * total_area
+                        and new_from >= 0):
+                    continue
+                return cand
+            del buckets[g]
+        return None
+
+    while True:
+        cand = pop_best()
+        if cand is None:
+            break
+        s = side[cand]
+        moved.add(cand)
+        moved_order.append(cand)
+        cum_gain += gains[cand]
+        area_side[s] -= area[cand]
+        area_side[1 - s] += area[cand]
+        side[cand] = 1 - s
+        # Update net counts and neighbor gains.
+        inst = netlist.instance(cand)
+        touched: set[str] = set()
+        for pin in inst.pins.values():
+            net = pin.net
+            if net is None or net.is_clock:
+                continue
+            c = counts[net.name]
+            c[s] -= 1
+            c[1 - s] += 1
+            for other in net.pins():
+                if other.owner is not None:
+                    touched.add(other.owner.name)
+        for name in touched:
+            if name in moved or name in locked:
+                continue
+            g = _gain(netlist, name, side, counts)
+            if g != gains[name]:
+                gains[name] = g
+                buckets[g].append(name)
+        if cum_gain > best_gain:
+            best_gain, best_idx = cum_gain, len(moved_order) - 1
+
+    # Roll back moves after the best prefix.
+    for name in moved_order[best_idx + 1:]:
+        side[name] = 1 - side[name]
+    return best_gain
+
+
+def fm_refine(netlist: Netlist, tiers: TierAssignment,
+              locked: set[str] | None = None,
+              balance: tuple[float, float] = (0.10, 0.90),
+              max_passes: int = 4) -> TierAssignment:
+    """Refine *tiers* in place with FM, keeping *locked* instances
+    fixed.  Macros are always locked.  Returns *tiers*.
+    """
+    locked = set(locked or ())
+    locked.update(n for n, inst in netlist.instances.items() if inst.is_macro)
+    side = {n: tiers.of_instance(n) for n in netlist.instances}
+    area = {n: inst.cell.area_um2 for n, inst in netlist.instances.items()}
+    for _ in range(max_passes):
+        improved = _fm_pass(netlist, side, area, locked, balance)
+        if improved <= 0:
+            break
+    for name, s in side.items():
+        tiers.set_instance(name, s)
+    return tiers
+
+
+def fm_bipartition(netlist: Netlist, seed: int = 0,
+                   balance: tuple[float, float] = (0.45, 0.55),
+                   max_passes: int = 6) -> dict[str, int]:
+    """Balanced 2-way min-cut partition from a random start.
+
+    Returns instance name -> side (0/1).  Raises if the netlist is
+    empty.
+    """
+    names = list(netlist.instances)
+    if not names:
+        raise PartitionError("cannot partition an empty netlist")
+    rng = np.random.default_rng(seed)
+    side = {n: int(rng.integers(2)) for n in names}
+    area = {n: inst.cell.area_um2 for n, inst in netlist.instances.items()}
+    for _ in range(max_passes):
+        improved = _fm_pass(netlist, side, area, set(), balance)
+        if improved <= 0:
+            break
+    return side

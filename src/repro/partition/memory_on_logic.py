@@ -1,0 +1,31 @@
+"""Macro-3D style memory-on-logic tier partitioning.
+
+Instances tagged ``region == "memory"`` by the generators (SRAM macros
+and their registered interfaces) go to the top tier; everything else to
+the bottom tier.  Ports follow their ``tier_hint``.  This mirrors the
+Macro-3D flow the paper builds on [5]: the memory die is placed face
+down on the logic die, with F2F pads carrying the cache/bank traffic.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Netlist
+from repro.partition.tier import TIER_LOGIC, TIER_MEMORY, TierAssignment
+
+
+def partition_memory_on_logic(netlist: Netlist) -> TierAssignment:
+    """Assign tiers by generator region tags.
+
+    Untagged instances default to the logic tier — a conservative
+    choice that keeps hand-built test netlists valid.
+    """
+    tiers = TierAssignment(netlist)
+    for name, inst in netlist.instances.items():
+        region = inst.attrs.get("region", "logic")
+        tiers.set_instance(
+            name, TIER_MEMORY if region == "memory" else TIER_LOGIC)
+    for name, port in netlist.ports.items():
+        tiers.set_port(
+            name, TIER_MEMORY if port.tier_hint == TIER_MEMORY else TIER_LOGIC)
+    tiers.validate()
+    return tiers

@@ -1,0 +1,23 @@
+"""Power delivery network: stripe grids, IR-drop analysis, sizing.
+
+Reproduces Section III-E / Table IV / Figure 9: per-tier VDD stripe
+meshes on the top metal pair with configurable width and pitch, a
+sparse resistive nodal solve with per-cell current sources, IR-drop
+as a percentage of the lowest domain voltage, and a sizing search
+that picks the narrowest stripes meeting the 10 % target — what's
+left of the top pair is exactly the routing resource the MLS nets
+share.
+"""
+
+from repro.pdn.grid import PdnConfig, PdnGrid, build_pdn
+from repro.pdn.irdrop import IRDropReport, solve_irdrop
+from repro.pdn.sizing import size_pdn
+
+__all__ = [
+    "PdnConfig",
+    "PdnGrid",
+    "build_pdn",
+    "IRDropReport",
+    "solve_irdrop",
+    "size_pdn",
+]

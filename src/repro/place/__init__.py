@@ -1,0 +1,28 @@
+"""Two-tier placement.
+
+Pseudo-3D flows place both dies on the same footprint: the joint 2D
+quadratic solve spreads all instances (both tiers share x/y), and each
+tier is then legalized onto its own rows.  This mirrors how Macro-3D
+keeps vertically-related logic and memory aligned so F2F connections
+stay short.
+"""
+
+from repro.place.floorplan import Floorplan, make_floorplan
+from repro.place.placement import Placement
+from repro.place.quadratic import quadratic_solve, spread
+from repro.place.spreading import bin_spread
+from repro.place.bisection import bisection_place
+from repro.place.legalize import legalize_tier
+from repro.place.placer import place_design
+
+__all__ = [
+    "Floorplan",
+    "make_floorplan",
+    "Placement",
+    "quadratic_solve",
+    "spread",
+    "bin_spread",
+    "bisection_place",
+    "legalize_tier",
+    "place_design",
+]

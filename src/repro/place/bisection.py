@@ -1,0 +1,145 @@
+"""Recursive-bisection global placement with terminal propagation.
+
+The pure quadratic solve collapses interchangeable clusters onto one
+point (all 128 MAERI PEs land within a few micrometres), and no local
+spreading can recover locality from that.  Top-down bisection is the
+classical fix: split the region, divide the cells by their solved
+coordinate along the long axis (area-balanced), anchor every cell to
+its region center with growing weight, re-solve, recurse.  Connected
+cells stay together because each re-solve lets connectivity rearrange
+cells *within* their regions while anchors encode the spatial
+commitment made so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.errors import PlacementError
+from repro.netlist.netlist import Netlist
+from repro.place.floorplan import Floorplan
+from repro.place.quadratic import quadratic_solve
+
+#: Stop splitting when a region holds at most this many cells.
+DEFAULT_LEAF_CELLS = 24
+#: Anchor weight at the first level; doubles per level.
+DEFAULT_BASE_ANCHOR = 0.01
+
+
+@dataclass
+class _Region:
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    cells: list[str]
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+
+def _split(region: _Region, pos: dict[str, tuple[float, float]],
+           area: dict[str, float]) -> tuple[_Region, _Region]:
+    """Split along the long axis at the area median of solved coords."""
+    axis = 0 if region.width >= region.height else 1
+    ordered = sorted(region.cells,
+                     key=lambda n: (pos[n][axis], n))
+    total = sum(area[n] for n in ordered)
+    half, acc, cut = total / 2.0, 0.0, 0
+    for i, name in enumerate(ordered):
+        acc += area[name]
+        if acc >= half:
+            cut = i + 1
+            break
+    cut = max(1, min(cut, len(ordered) - 1))
+    first, second = ordered[:cut], ordered[cut:]
+    frac = max(0.1, min(0.9, sum(area[n] for n in first) / total))
+    if axis == 0:
+        xm = region.x0 + frac * region.width
+        return (_Region(region.x0, region.y0, xm, region.y1, first),
+                _Region(xm, region.y0, region.x1, region.y1, second))
+    ym = region.y0 + frac * region.height
+    return (_Region(region.x0, region.y0, region.x1, ym, first),
+            _Region(region.x0, ym, region.x1, region.y1, second))
+
+
+def _layout_leaf(region: _Region, pos: dict[str, tuple[float, float]]
+                 ) -> dict[str, tuple[float, float]]:
+    """Arrange a leaf region's cells on a compact grid, ordered by the
+    solved coordinates so intra-leaf adjacency is preserved."""
+    cells = sorted(region.cells, key=lambda n: (pos[n][1], pos[n][0], n))
+    n = len(cells)
+    if n == 0:
+        return {}
+    cols = max(1, int(math.ceil(math.sqrt(n * max(region.width, 1e-6)
+                                          / max(region.height, 1e-6)))))
+    rows = int(math.ceil(n / cols))
+    out: dict[str, tuple[float, float]] = {}
+    for i, name in enumerate(cells):
+        r, c = divmod(i, cols)
+        x = region.x0 + (c + 0.5) * region.width / cols
+        y = region.y0 + (r + 0.5) * region.height / max(rows, 1)
+        out[name] = (x, y)
+    return out
+
+
+def bisection_place(netlist: Netlist, fixed: dict[str, tuple[float, float]],
+                    fp: Floorplan, movable: list[str],
+                    leaf_cells: int = DEFAULT_LEAF_CELLS,
+                    base_anchor: float = DEFAULT_BASE_ANCHOR
+                    ) -> dict[str, tuple[float, float]]:
+    """Place *movable* instances inside the core area.
+
+    Returns name -> (x, y).  ``fixed`` holds port/macro anchors (same
+    key convention as :func:`quadratic_solve`).
+    """
+    if not movable:
+        return {}
+    area = {n: max(netlist.instance(n).cell.area_um2, 0.1) for n in movable}
+    pos = quadratic_solve(netlist, fixed, fp, movable=movable)
+    regions = [_Region(0.0, 0.0, fp.width, fp.core_height, list(movable))]
+    weight = base_anchor
+    while max(len(r.cells) for r in regions) > leaf_cells:
+        next_regions: list[_Region] = []
+        for region in regions:
+            if len(region.cells) <= leaf_cells:
+                next_regions.append(region)
+                continue
+            a, b = _split(region, pos, area)
+            next_regions.extend((a, b))
+        regions = next_regions
+        # Terminal propagation: anchor every cell to its region center
+        # and re-solve so connectivity optimizes within commitments.
+        anchors: dict[str, tuple[float, float]] = {}
+        for region in regions:
+            cx, cy = region.center
+            for name in region.cells:
+                anchors[name] = (cx, cy)
+        pos = quadratic_solve(netlist, fixed, fp, movable=movable,
+                              anchors=anchors, anchor_weight=weight)
+        # Clamp each cell into its region so the next split is local.
+        for region in regions:
+            for name in region.cells:
+                x, y = pos[name]
+                pos[name] = (min(max(x, region.x0), region.x1),
+                             min(max(y, region.y0), region.y1))
+        weight *= 2.0
+
+    final: dict[str, tuple[float, float]] = {}
+    for region in regions:
+        final.update(_layout_leaf(region, pos))
+    if len(final) != len(movable):
+        raise PlacementError(
+            f"bisection lost cells: {len(final)} != {len(movable)}")
+    return final

@@ -1,0 +1,132 @@
+"""Row legalization.
+
+Snaps spread standard-cell positions onto rows and sites with no
+overlap, minimizing displacement greedily: cells are bucketed into
+their nearest non-full row (by area capacity), then packed left-to-
+right near their desired x.  Macros legalize separately into the
+reserved macro band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.netlist.netlist import Netlist
+from repro.place.floorplan import Floorplan
+
+
+def legalize_tier(netlist: Netlist, names: list[str],
+                  positions: dict[str, tuple[float, float]],
+                  fp: Floorplan) -> dict[str, tuple[float, float]]:
+    """Legalize the standard cells in *names* onto rows.
+
+    Returns name -> legalized (x, y) with y at row centers and x
+    packed so widths (derived from cell area / row height) never
+    overlap.  Raises when total cell area exceeds row capacity.
+    """
+    if not names:
+        return {}
+    widths = {}
+    for name in names:
+        inst = netlist.instance(name)
+        if inst.is_macro:
+            raise PlacementError(
+                f"macro {name} must go through legalize_macros")
+        widths[name] = max(fp.site_width,
+                           inst.cell.area_um2 / fp.row_height)
+    total_width = sum(widths.values())
+    capacity = fp.num_rows * fp.width
+    if total_width > capacity:
+        raise PlacementError(
+            f"cells need {total_width:.0f}um of row space, floorplan has "
+            f"{capacity:.0f}um — increase the floorplan or utilization")
+
+    num_rows = fp.num_rows
+    row_cap = fp.width
+    row_used = np.zeros(num_rows)
+    row_members: list[list[str]] = [[] for _ in range(num_rows)]
+
+    # Assign each cell to the closest row with remaining capacity,
+    # processing bottom-up by desired y for stability.
+    by_y = sorted(names, key=lambda n: (positions[n][1], n))
+    for name in by_y:
+        desired_row = int(positions[name][1] / fp.row_height)
+        desired_row = min(max(desired_row, 0), num_rows - 1)
+        row = desired_row
+        # Search alternating outwards for space.
+        for offset in range(num_rows):
+            candidates = []
+            if desired_row + offset < num_rows:
+                candidates.append(desired_row + offset)
+            if offset > 0 and desired_row - offset >= 0:
+                candidates.append(desired_row - offset)
+            found = None
+            for r in candidates:
+                if row_used[r] + widths[name] <= row_cap:
+                    found = r
+                    break
+            if found is not None:
+                row = found
+                break
+        else:  # pragma: no cover - guarded by capacity check above
+            raise PlacementError(f"no row space for {name}")
+        row_used[row] += widths[name]
+        row_members[row].append(name)
+
+    legal: dict[str, tuple[float, float]] = {}
+    for row_idx, members in enumerate(row_members):
+        if not members:
+            continue
+        members.sort(key=lambda n: (positions[n][0], n))
+        # Pack left-to-right at desired x, pushing right on conflicts.
+        cursor = 0.0
+        placed: list[tuple[str, float]] = []  # (name, left edge)
+        for name in members:
+            desired_left = positions[name][0] - widths[name] / 2.0
+            left = max(cursor, desired_left)
+            placed.append((name, left))
+            cursor = left + widths[name]
+        # If the row overflowed on the right, shift everything back.
+        overflow = cursor - fp.width
+        if overflow > 0:
+            placed = [(n, max(0.0, left - overflow)) for n, left in placed]
+            # Re-pack to clear any overlap introduced by the clamp.
+            cursor = 0.0
+            repacked = []
+            for name, left in placed:
+                left = max(cursor, left)
+                repacked.append((name, left))
+                cursor = left + widths[name]
+            placed = repacked
+        y = row_idx * fp.row_height + fp.row_height / 2.0
+        for name, left in placed:
+            legal[name] = (left + widths[name] / 2.0, y)
+    return legal
+
+
+def legalize_macros(netlist: Netlist, names: list[str],
+                    positions: dict[str, tuple[float, float]],
+                    fp: Floorplan) -> dict[str, tuple[float, float]]:
+    """Place macros in the reserved band, ordered by desired x.
+
+    The band is at the top of the die; macros are ~30x30 um and are
+    laid out in one or more grid rows.
+    """
+    if not names:
+        return {}
+    if fp.macro_band_h <= 0:
+        raise PlacementError("floorplan reserved no macro band")
+    side = 30.0
+    per_row = max(1, int(fp.width / (side + 5.0)))
+    ordered = sorted(names, key=lambda n: (positions.get(n, (0, 0))[0], n))
+    legal = {}
+    for i, name in enumerate(ordered):
+        grid_row = i // per_row
+        grid_col = i % per_row
+        x = (grid_col + 0.5) * (fp.width / per_row)
+        y = fp.core_height + (grid_row + 0.5) * 32.0
+        if y > fp.height:
+            raise PlacementError("macro band overflow — floorplan too small")
+        legal[name] = (x, min(y, fp.height - side / 2.0))
+    return legal

@@ -1,0 +1,92 @@
+"""Placement result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlacementError
+from repro.netlist.net import Pin
+from repro.netlist.netlist import Netlist
+from repro.partition.tier import TierAssignment
+
+
+@dataclass(frozen=True)
+class Location:
+    """A placed object: center x/y in um plus tier."""
+
+    x: float
+    y: float
+    tier: int
+
+
+class Placement:
+    """Locations of every instance and port of a design.
+
+    Ports are placed on the die boundary of their tier.  The object is
+    the single source of physical truth for routing, RC extraction and
+    the GNN feature extractor.
+    """
+
+    def __init__(self, netlist: Netlist, tiers: TierAssignment):
+        self.netlist = netlist
+        self.tiers = tiers
+        self._loc: dict[str, Location] = {}
+        self._port_loc: dict[str, Location] = {}
+
+    def set_instance(self, name: str, x: float, y: float) -> None:
+        self._loc[name] = Location(x, y, self.tiers.of_instance(name))
+
+    def set_port(self, name: str, x: float, y: float) -> None:
+        self._port_loc[name] = Location(x, y, self.tiers.of_port(name))
+
+    def of_instance(self, name: str) -> Location:
+        try:
+            return self._loc[name]
+        except KeyError:
+            raise PlacementError(f"instance {name!r} not placed") from None
+
+    def of_port(self, name: str) -> Location:
+        try:
+            return self._port_loc[name]
+        except KeyError:
+            raise PlacementError(f"port {name!r} not placed") from None
+
+    def of_pin(self, pin: Pin) -> Location:
+        """Pin location — the owning instance/port center (pin-level
+        offsets are below gcell resolution at this abstraction)."""
+        if pin.owner is not None:
+            return self.of_instance(pin.owner.name)
+        return self.of_port(pin.port.name)
+
+    def validate(self) -> None:
+        missing = [n for n in self.netlist.instances if n not in self._loc]
+        if missing:
+            raise PlacementError(
+                f"{len(missing)} unplaced instances, e.g. {missing[:3]}")
+        missing_p = [n for n in self.netlist.ports if n not in self._port_loc]
+        if missing_p:
+            raise PlacementError(f"unplaced ports: {missing_p[:5]}")
+
+    def hpwl(self) -> float:
+        """Total half-perimeter wirelength over signal nets, in um."""
+        total = 0.0
+        for net in self.netlist.signal_nets():
+            xs, ys = [], []
+            for pin in net.pins():
+                loc = self.of_pin(pin)
+                xs.append(loc.x)
+                ys.append(loc.y)
+            if xs:
+                total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total
+
+    def net_bbox(self, net) -> tuple[float, float, float, float]:
+        """(xmin, ymin, xmax, ymax) over a net's pins."""
+        xs, ys = [], []
+        for pin in net.pins():
+            loc = self.of_pin(pin)
+            xs.append(loc.x)
+            ys.append(loc.y)
+        if not xs:
+            raise PlacementError(f"net {net.name} has no pins to bound")
+        return min(xs), min(ys), max(xs), max(ys)

@@ -1,0 +1,120 @@
+"""Local density spreading.
+
+The quadratic solve collapses connectivity clusters (a PE's 50 cells
+land within a micrometre).  Global rank-remapping destroys locality by
+interleaving clusters, so we spread *locally*: cells are bucketed into
+bins, and overfull bins push their outermost cells into the nearest
+bins with free area, spiralling outward.  A cluster therefore dilates
+in place — exactly what a real analytical placer's look-ahead
+legalization achieves.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import PlacementError
+from repro.netlist.netlist import Netlist
+from repro.place.floorplan import Floorplan
+
+#: Default bin side, um.
+DEFAULT_BIN_UM = 6.0
+#: Target fill of a bin's area before it starts shedding cells.
+DEFAULT_FILL = 0.55
+
+
+def bin_spread(netlist: Netlist, positions: dict[str, tuple[float, float]],
+               fp: Floorplan, bin_um: float = DEFAULT_BIN_UM,
+               fill: float = DEFAULT_FILL,
+               passes: int = 3) -> dict[str, tuple[float, float]]:
+    """Spread *positions* so no bin exceeds ``fill`` of its area.
+
+    Returns new positions; cells that moved sit near the center of
+    their adopting bin, offset deterministically.  Raises when the
+    floorplan cannot hold the total cell area at the requested fill.
+    """
+    if bin_um <= 0 or not 0.05 < fill <= 1.0:
+        raise PlacementError("bad bin_um/fill parameters")
+    nx = max(1, math.ceil(fp.width / bin_um))
+    ny = max(1, math.ceil(fp.core_height / bin_um))
+    cap = bin_um * bin_um * fill
+
+    area = {name: netlist.instance(name).cell.area_um2
+            for name in positions}
+    total_area = sum(area.values())
+    if total_area > nx * ny * cap:
+        raise PlacementError(
+            f"total cell area {total_area:.0f}um^2 exceeds spread capacity "
+            f"{nx * ny * cap:.0f}um^2 — enlarge the floorplan")
+
+    def bin_of(x: float, y: float) -> tuple[int, int]:
+        ix = min(max(int(x / bin_um), 0), nx - 1)
+        iy = min(max(int(y / bin_um), 0), ny - 1)
+        return ix, iy
+
+    pos = dict(positions)
+    for _ in range(passes):
+        bins: dict[tuple[int, int], list[str]] = {}
+        load: dict[tuple[int, int], float] = {}
+        for name, (x, y) in pos.items():
+            b = bin_of(x, y)
+            bins.setdefault(b, []).append(name)
+            load[b] = load.get(b, 0.0) + area[name]
+
+        moved = 0
+        for b in sorted(bins, key=lambda k: -load.get(k, 0.0)):
+            if load[b] <= cap:
+                continue
+            members = bins[b]
+            cx = (b[0] + 0.5) * bin_um
+            cy = (b[1] + 0.5) * bin_um
+            # Shed outermost cells first: they are cheapest to move.
+            members.sort(key=lambda n: (
+                -(abs(pos[n][0] - cx) + abs(pos[n][1] - cy)), n))
+            idx = 0
+            while load[b] > cap and idx < len(members):
+                name = members[idx]
+                idx += 1
+                target = _nearest_free_bin(b, load, cap, area[name], nx, ny)
+                if target is None:
+                    break
+                load[b] -= area[name]
+                load[target] = load.get(target, 0.0) + area[name]
+                # Land near the adopting bin's center, nudged toward
+                # the original position for determinism + locality.
+                tx = (target[0] + 0.5) * bin_um
+                ty = (target[1] + 0.5) * bin_um
+                ox, oy = pos[name]
+                pos[name] = (0.75 * tx + 0.25 * ox, 0.75 * ty + 0.25 * oy)
+                moved += 1
+        if moved == 0:
+            break
+    return pos
+
+
+def _nearest_free_bin(origin: tuple[int, int], load: dict, cap: float,
+                      need: float, nx: int, ny: int
+                      ) -> tuple[int, int] | None:
+    """Spiral outward from *origin* to the first bin with room."""
+    ox, oy = origin
+    max_r = max(nx, ny)
+    for r in range(1, max_r + 1):
+        ring: list[tuple[int, int]] = []
+        for dx in range(-r, r + 1):
+            for dy in (-r, r):
+                ring.append((ox + dx, oy + dy))
+        for dy in range(-r + 1, r):
+            for dx in (-r, r):
+                ring.append((ox + dx, oy + dy))
+        best = None
+        best_load = None
+        for b in ring:
+            if not (0 <= b[0] < nx and 0 <= b[1] < ny):
+                continue
+            cur = load.get(b, 0.0)
+            if cur + need <= cap:
+                if best is None or cur < best_load:
+                    best, best_load = b, cur
+        if best is not None:
+            return best
+    return None

@@ -1,0 +1,25 @@
+"""Power estimation, multi-Vdd domains, and level shifters.
+
+Covers the paper's Section III-E power rows: per-design dynamic +
+leakage power under the tier voltage plan (heterogeneous stacks run
+the 16 nm logic sub-domain at 0.81 V under a 0.9 V top level), level-
+shifter insertion on every cross-tier signal with a domain crossing,
+and the effective-frequency metric of Tables IV-VI.
+"""
+
+from repro.power.domains import (
+    PowerDomain,
+    PowerPlan,
+    default_power_plan,
+    insert_level_shifters,
+)
+from repro.power.estimate import PowerReport, estimate_power
+
+__all__ = [
+    "PowerDomain",
+    "PowerPlan",
+    "default_power_plan",
+    "insert_level_shifters",
+    "PowerReport",
+    "estimate_power",
+]

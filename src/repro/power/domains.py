@@ -1,0 +1,115 @@
+"""Multi-Vdd power domains and level-shifter insertion.
+
+The paper's heterogeneous integration (Fig. 7) runs a 0.9 V top level
+with the 28 nm memory sub-domain at 0.9 V and the 16 nm logic
+sub-domain at 0.81 V; every 3-D signal connection crossing the domain
+boundary gets a level shifter.  Homogeneous stacks use one 0.9 V
+domain and need none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.design import Design
+from repro.errors import FlowError
+from repro.partition.tier import TIER_LOGIC, TIER_MEMORY
+
+
+@dataclass(frozen=True)
+class PowerDomain:
+    """One voltage domain bound to a tier."""
+
+    name: str
+    vdd: float
+    tier: int
+
+
+@dataclass(frozen=True)
+class PowerPlan:
+    """The design's domain arrangement."""
+
+    domains: tuple[PowerDomain, ...]
+
+    def domain_of_tier(self, tier: int) -> PowerDomain:
+        for dom in self.domains:
+            if dom.tier == tier:
+                return dom
+        raise FlowError(f"no power domain covers tier {tier}")
+
+    @property
+    def lowest_vdd(self) -> float:
+        return min(d.vdd for d in self.domains)
+
+    @property
+    def needs_level_shifters(self) -> bool:
+        return len({d.vdd for d in self.domains}) > 1
+
+
+def default_power_plan(design: Design) -> PowerPlan:
+    """The paper's plan: per-tier node nominal voltages.
+
+    Hetero (16 nm logic + 28 nm memory): 0.81 V bottom, 0.9 V top.
+    Homo (28 nm both): 0.9 V everywhere.
+    """
+    bottom = design.tech.node_of(TIER_LOGIC)
+    top = design.tech.node_of(TIER_MEMORY)
+    return PowerPlan(domains=(
+        PowerDomain("logic", bottom.vdd, TIER_LOGIC),
+        PowerDomain("memory", top.vdd, TIER_MEMORY),
+    ))
+
+
+def insert_level_shifters(design: Design, plan: PowerPlan) -> int:
+    """Insert a level shifter on every domain-crossing signal net.
+
+    The shifter lands on the *sink* side of each crossing (receiving
+    domain), splitting the net: driver-side net keeps the driver and
+    same-tier sinks; the shifter drives the other-domain sinks.
+    Returns the number of shifters inserted; 0 for single-Vdd plans.
+
+    Must run before routing (the shifter changes net topology); raises
+    if the design is already routed.
+    """
+    if not plan.needs_level_shifters:
+        return 0
+    if design.routing is not None:
+        raise FlowError("insert level shifters before routing, not after")
+    netlist = design.netlist
+    tiers = design.require_tiers()
+    placement = design.require_placement()
+    fp = design.require_floorplan()
+    inserted = 0
+    for net in list(netlist.signal_nets()):
+        if net.driver is None:
+            continue
+        driver_tier = tiers.of_pin(net.driver)
+        cross_sinks = [s for s in net.sinks
+                       if tiers.of_pin(s) != driver_tier]
+        if not cross_sinks:
+            continue
+        sink_tier = 1 - driver_tier
+        region = "logic" if sink_tier == TIER_LOGIC else "memory"
+        lib = design.tech.libraries[region]
+        inst = netlist.add_instance(netlist.fresh_name(f"{net.name}_ls"),
+                                    lib.get("LVLSHIFT"))
+        inst.attrs["region"] = region
+        inst.attrs["level_shifter"] = "1"
+        tiers.set_instance(inst.name, sink_tier)
+        # Place at the crossing sinks' centroid, clamped to the die.
+        cx = sum(placement.of_pin(s).x for s in cross_sinks) / len(cross_sinks)
+        cy = sum(placement.of_pin(s).y for s in cross_sinks) / len(cross_sinks)
+        placement.set_instance(inst.name, *fp.clamp(cx, cy))
+        shifted = netlist.split_net_at_sinks(net, cross_sinks)
+        net.attach(inst.pin("A"))
+        shifted.attach(inst.output_pin)
+        inserted += 1
+    design.notes["level_shifters"] = inserted
+    return inserted
+
+
+def level_shifter_instances(design: Design) -> list[str]:
+    """Names of all inserted level shifters."""
+    return [name for name, inst in design.netlist.instances.items()
+            if inst.attrs.get("level_shifter") == "1"
+            or inst.cell.is_level_shifter]

@@ -1,0 +1,73 @@
+"""Deterministic named random streams.
+
+Every stochastic component of the library (netlist generators, placement
+jitter, DGI corruption, weight init, fault-simulation patterns) draws
+from a *named* stream derived from a single experiment seed.  Naming the
+streams decouples them: adding a draw in one component does not perturb
+another component's sequence, so experiment tables reproduce exactly
+even as the code evolves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+DEFAULT_SEED = 20250706
+
+
+def _stream_seed(seed: int, name: str) -> int:
+    """Derive a 63-bit child seed from (seed, name) via SHA-256."""
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def stream(name: str, seed: int = DEFAULT_SEED) -> np.random.Generator:
+    """Return an independent :class:`numpy.random.Generator` for *name*.
+
+    The same (name, seed) pair always yields an identical sequence.
+
+    >>> a = stream("placement", 1).random()
+    >>> b = stream("placement", 1).random()
+    >>> a == b
+    True
+    >>> stream("placement", 1).random() == stream("routing", 1).random()
+    False
+    """
+    if not name:
+        raise ValueError("stream name must be non-empty")
+    return np.random.default_rng(_stream_seed(seed, name))
+
+
+class SeedBundle:
+    """A bag of named streams sharing one experiment seed.
+
+    Flows pass a single ``SeedBundle`` down so that every component can
+    pull its own stream without threading many generators around.
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED):
+        self.seed = int(seed)
+        self._cache: dict[str, np.random.Generator] = {}
+
+    def get(self, name: str) -> np.random.Generator:
+        """Return the stream for *name*, created on first use.
+
+        Repeated calls return the *same* generator object, so draws
+        within one bundle advance a persistent per-name sequence.
+        """
+        if name not in self._cache:
+            self._cache[name] = stream(name, self.seed)
+        return self._cache[name]
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a brand-new generator for *name* (position reset)."""
+        return stream(name, self.seed)
+
+    def child(self, suffix: str) -> "SeedBundle":
+        """Derive a new bundle whose streams are independent of ours."""
+        return SeedBundle(_stream_seed(self.seed, f"child:{suffix}"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SeedBundle(seed={self.seed}, streams={sorted(self._cache)})"

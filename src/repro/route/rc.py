@@ -1,0 +1,117 @@
+"""Elmore RC extraction on route trees.
+
+Per net, computes the driver-visible load, total wire R/C (Table II
+features), and per-sink Elmore delays.  Edge electricals come from the
+assigned layer pair (mean of the two layers), intra-tier via stacks,
+and F2F hybrid-bond vias — so the timing cost/benefit of MLS falls out
+of the same model as ordinary routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RoutingError
+from repro.route.tree import RouteTree
+from repro.tech.layers import F2FVia, MetalStack
+from repro.units import rc_to_ps
+
+
+@dataclass
+class NetRC:
+    """Extracted parasitics of one routed net.
+
+    ``sink_delay_ps`` maps sink pin full-name -> Elmore wire delay from
+    the driver.  ``load_ff`` is what the driving cell sees: all wire,
+    via and F2F capacitance plus sink pin caps.
+    """
+
+    net_name: str
+    wire_cap_ff: float
+    wire_res_ohm: float
+    load_ff: float
+    wirelength_um: float
+    sink_delay_ps: dict[str, float] = field(default_factory=dict)
+
+    def worst_sink_delay(self) -> float:
+        return max(self.sink_delay_ps.values(), default=0.0)
+
+
+def _edge_rc(edge, stacks: tuple[MetalStack, MetalStack],
+             f2f: F2FVia) -> tuple[float, float]:
+    """(R_ohm, C_ff) of one route edge."""
+    stack = stacks[edge.tier]
+    pairs = stack.pairs()
+    if not 0 <= edge.pair < len(pairs):
+        raise RoutingError(
+            f"net {edge.parent}->{edge.child}: pair {edge.pair} out of "
+            f"range for tier {edge.tier}")
+    la, lb = pairs[edge.pair]
+    r_um = (la.r_per_um + lb.r_per_um) / 2.0
+    c_um = (la.c_per_um + lb.c_per_um) / 2.0
+    r = r_um * edge.length + edge.via_hops * stack.via_r \
+        + edge.n_f2f * f2f.resistance
+    c = c_um * edge.length + edge.via_hops * stack.via_c \
+        + edge.n_f2f * f2f.capacitance
+    if edge.escape_um > 0.0:
+        # MLS escape stubs run on the *home* tier's lowest pair.
+        home = stacks[1 - edge.tier]
+        ea, eb = home.pairs()[0]
+        r += (ea.r_per_um + eb.r_per_um) / 2.0 * edge.escape_um
+        c += (ea.c_per_um + eb.c_per_um) / 2.0 * edge.escape_um
+    return r, c
+
+
+def extract_rc(tree: RouteTree, stacks: tuple[MetalStack, MetalStack],
+               f2f: F2FVia) -> NetRC:
+    """Extract parasitics and per-sink Elmore delays for *tree*.
+
+    Sink pin capacitances are read from the tree's pin-bearing nodes.
+    """
+    children = tree.children()
+    n = len(tree.nodes)
+    edge_rc = {(e.parent, e.child): _edge_rc(e, stacks, f2f)
+               for e in tree.edges}
+
+    # Post-order subtree capacitance (iterative to handle deep trees).
+    subtree_cap = [0.0] * n
+    order: list[int] = []
+    stack = [0]
+    while stack:
+        u = stack.pop()
+        order.append(u)
+        for e in children.get(u, ()):
+            stack.append(e.child)
+    for u in reversed(order):
+        cap = 0.0
+        node = tree.nodes[u]
+        if u != 0 and node.pin is not None:
+            cap += node.pin.cap_ff
+        for e in children.get(u, ()):
+            cap += edge_rc[(u, e.child)][1] + subtree_cap[e.child]
+        subtree_cap[u] = cap
+
+    # Pre-order Elmore accumulation.
+    delay = [0.0] * n
+    stack = [0]
+    while stack:
+        u = stack.pop()
+        for e in children.get(u, ()):
+            r, c = edge_rc[(u, e.child)]
+            delay[e.child] = delay[u] + rc_to_ps(
+                r, c / 2.0 + subtree_cap[e.child])
+            stack.append(e.child)
+
+    total_r = sum(rc[0] for rc in edge_rc.values())
+    total_c = sum(rc[1] for rc in edge_rc.values())
+    sink_caps = sum(node.pin.cap_ff for node in tree.sink_nodes())
+    sink_delays = {node.pin.full_name: delay[node.idx]
+                   for node in tree.sink_nodes()}
+    return NetRC(
+        net_name=tree.net_name,
+        wire_cap_ff=total_c,
+        wire_res_ohm=total_r,
+        load_ff=total_c + sink_caps,
+        wirelength_um=tree.wirelength(),
+        sink_delay_ps=sink_delays,
+    )

@@ -1,0 +1,32 @@
+"""Technology modelling: process nodes, BEOL metal stacks, cell libraries.
+
+This package replaces the TSMC 16 nm / 28 nm PDKs used in the paper with
+parametric models that preserve the ratios the experiments depend on:
+
+* 16 nm standard cells are faster and smaller but sit under a *finer,
+  more resistive* lower-metal BEOL;
+* 28 nm top metals are thick and low-resistance — exactly the resource
+  Metal Layer Sharing borrows across the F2F interface;
+* F2F via parameters follow the paper's setup (0.5 um size, 1.0 um
+  pitch, 0.5 ohm, 0.2 fF).
+"""
+
+from repro.tech.node import TechNode, NODE_28NM, NODE_16NM, get_node
+from repro.tech.layers import MetalLayer, MetalStack, F2FVia, default_stack
+from repro.tech.cells import CellType, CellPinSpec
+from repro.tech.library import CellLibrary, build_library
+
+__all__ = [
+    "TechNode",
+    "NODE_28NM",
+    "NODE_16NM",
+    "get_node",
+    "MetalLayer",
+    "MetalStack",
+    "F2FVia",
+    "default_stack",
+    "CellType",
+    "CellPinSpec",
+    "CellLibrary",
+    "build_library",
+]

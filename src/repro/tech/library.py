@@ -1,0 +1,84 @@
+"""Node-scaled cell libraries.
+
+:func:`build_library` takes the 28 nm reference cells and applies a
+:class:`~repro.tech.node.TechNode`'s scale factors, yielding the
+library used by one die.  A heterogeneous design therefore carries two
+libraries (16 nm logic die, 28 nm memory die) whose relative speeds
+drive the cross-tier timing effects the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import TechError
+from repro.tech.cells import CellType, reference_cells
+from repro.tech.node import TechNode
+
+
+class CellLibrary:
+    """An immutable mapping of cell-type name -> :class:`CellType`."""
+
+    def __init__(self, node: TechNode, cells: list[CellType]):
+        self.node = node
+        self._cells = {cell.name: cell for cell in cells}
+        if len(self._cells) != len(cells):
+            raise TechError("duplicate cell names in library")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def get(self, name: str) -> CellType:
+        """Fetch a cell type, raising :class:`TechError` if unknown."""
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise TechError(
+                f"cell {name!r} not in {self.node.name} library") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._cells)
+
+    def combinational(self) -> list[CellType]:
+        """All single-output combinational gates (no macros, no FFs)."""
+        return [c for c in self._cells.values()
+                if not c.is_sequential and not c.is_macro]
+
+
+def _scale_cell(cell: CellType, node: TechNode) -> CellType:
+    """Apply node scaling to one reference cell.
+
+    Macros (SRAM) scale area/energy like logic but keep most of their
+    access time: a 16 nm SRAM compiler macro is faster than a 28 nm one
+    by roughly the gate-delay ratio's square root, not the full ratio.
+    """
+    delay_scale = node.delay_scale
+    if cell.is_macro:
+        delay_scale = node.delay_scale ** 0.5
+    return replace(
+        cell,
+        intrinsic_ps=cell.intrinsic_ps * delay_scale,
+        drive_res=cell.drive_res * delay_scale,
+        input_cap_ff=cell.input_cap_ff * node.cap_scale,
+        leakage_mw=cell.leakage_mw * node.leakage_scale,
+        energy_fj=cell.energy_fj * node.energy_scale,
+        area_um2=cell.area_um2 * node.area_scale,
+    )
+
+
+def build_library(node: TechNode) -> CellLibrary:
+    """Build the standard library for *node*.
+
+    >>> from repro.tech import NODE_16NM, NODE_28NM
+    >>> lib16 = build_library(NODE_16NM)
+    >>> lib28 = build_library(NODE_28NM)
+    >>> lib16.get("INV").intrinsic_ps < lib28.get("INV").intrinsic_ps
+    True
+    """
+    return CellLibrary(node, [_scale_cell(c, node) for c in reference_cells()])

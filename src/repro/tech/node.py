@@ -1,0 +1,119 @@
+"""Process-node electrical scaling model.
+
+A :class:`TechNode` captures the handful of node-level scalars the rest
+of the library needs: how fast gates are, how much they load their
+drivers, how leaky they are, how large they are, and the nominal supply.
+Values are normalized against the 28 nm planar node the paper uses for
+the memory die, with a 16 nm FinFET node for the heterogeneous logic
+die.  The absolute numbers are representative textbook figures, not
+foundry data — the experiments only rely on the *ratios* between nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TechError
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """Electrical scaling parameters of one process node.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"28nm"``.
+    drawn_nm:
+        Drawn feature size in nanometres.
+    delay_scale:
+        Multiplier on every cell intrinsic delay and drive resistance
+        relative to the 28 nm reference (FinFET 16 nm ~0.6x).
+    cap_scale:
+        Multiplier on cell input-pin capacitance (smaller gates load
+        their drivers less).
+    leakage_scale:
+        Multiplier on per-cell leakage power.  FinFETs leak less per
+        gate at iso-function despite the tighter pitch.
+    energy_scale:
+        Multiplier on per-toggle internal switching energy.
+    area_scale:
+        Multiplier on cell footprint area.
+    vdd:
+        Nominal supply voltage in volts.  The paper's mixed-node PDN
+        runs the 16 nm logic sub-domain at 0.81 V and everything else
+        at 0.9 V.
+    wire_r_scale:
+        Multiplier on lower-metal sheet resistance.  Finer nodes have
+        narrower local wires with markedly higher resistance per um —
+        the asymmetry that makes borrowing 28 nm thick metal through
+        MLS attractive for 16 nm logic nets.
+    wire_c_scale:
+        Multiplier on lower-metal capacitance per um.
+    """
+
+    name: str
+    drawn_nm: int
+    delay_scale: float
+    cap_scale: float
+    leakage_scale: float
+    energy_scale: float
+    area_scale: float
+    vdd: float
+    wire_r_scale: float
+    wire_c_scale: float
+
+    def __post_init__(self) -> None:
+        if self.drawn_nm <= 0:
+            raise TechError(f"drawn_nm must be positive, got {self.drawn_nm}")
+        for field in ("delay_scale", "cap_scale", "leakage_scale",
+                      "energy_scale", "area_scale", "vdd",
+                      "wire_r_scale", "wire_c_scale"):
+            if getattr(self, field) <= 0:
+                raise TechError(f"{field} must be positive on node {self.name}")
+
+
+#: 28 nm planar reference node (memory die in both integrations).
+NODE_28NM = TechNode(
+    name="28nm",
+    drawn_nm=28,
+    delay_scale=1.00,
+    cap_scale=1.00,
+    leakage_scale=1.00,
+    energy_scale=1.00,
+    area_scale=1.00,
+    vdd=0.90,
+    wire_r_scale=1.00,
+    wire_c_scale=1.00,
+)
+
+#: 16 nm FinFET node (logic die in the heterogeneous integration).
+#: Gates ~40 % faster and half the area; local wires ~2.2x more
+#: resistive per um, which is what MLS relief exploits.
+NODE_16NM = TechNode(
+    name="16nm",
+    drawn_nm=16,
+    delay_scale=0.62,
+    cap_scale=0.70,
+    leakage_scale=0.80,
+    energy_scale=0.55,
+    area_scale=0.48,
+    vdd=0.81,
+    wire_r_scale=2.20,
+    wire_c_scale=1.10,
+)
+
+_NODES = {node.name: node for node in (NODE_28NM, NODE_16NM)}
+
+
+def get_node(name: str) -> TechNode:
+    """Look up a built-in node by name (``"28nm"`` or ``"16nm"``).
+
+    Raises :class:`~repro.errors.TechError` for unknown names so typos
+    in experiment configs fail loudly.
+    """
+    try:
+        return _NODES[name]
+    except KeyError:
+        known = ", ".join(sorted(_NODES))
+        raise TechError(f"unknown technology node {name!r}; known: {known}") from None

@@ -1,0 +1,30 @@
+"""Delay model primitives shared by STA and the what-if engine."""
+
+from __future__ import annotations
+
+from repro.tech.cells import CellType
+
+#: Drive resistance assumed for external input-port drivers, ohm.
+PORT_DRIVE_RES = 1500.0
+
+#: Setup time as a fraction of the cell's intrinsic delay — a standard
+#: library correlation that keeps sequential overhead proportional to
+#: cell speed across nodes.
+_SETUP_FRACTION = 0.35
+_MACRO_SETUP_FRACTION = 0.30
+
+
+def cell_output_delay(cell: CellType, load_ff: float) -> float:
+    """Input-to-output (or clk-to-q) delay of *cell* driving *load_ff*."""
+    return cell.delay_ps(load_ff)
+
+
+def setup_time(cell: CellType) -> float:
+    """Setup requirement at a sequential cell's data pins, in ps."""
+    fraction = _MACRO_SETUP_FRACTION if cell.is_macro else _SETUP_FRACTION
+    return cell.intrinsic_ps * fraction
+
+
+def port_drive_delay(load_ff: float) -> float:
+    """Delay of the external pad driver on an input port, in ps."""
+    return (PORT_DRIVE_RES * load_ff) / 1000.0

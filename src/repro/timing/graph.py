@@ -1,0 +1,162 @@
+"""Pin-level timing graph construction.
+
+Nodes are pins (instance pins + port pins).  Arcs:
+
+* **net arcs** — driver pin -> each sink pin, delay = Elmore wire delay
+  from extracted parasitics;
+* **cell arcs** — each data input -> output pin of combinational
+  cells, delay = NLDM-lite cell delay under the output net's load;
+* **launch** — sequential outputs and input ports are sources (clk->q
+  delay, pad-driver delay respectively);
+* **capture** — sequential data pins, macro data pins and output
+  ports are endpoints.
+
+Clock pins / nets are ideal (zero skew) and never propagate.  Scan-
+enable pins are false paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.design import Design
+from repro.errors import TimingError
+from repro.netlist.net import Pin
+from repro.timing.delay import (cell_output_delay, port_drive_delay,
+                                setup_time)
+
+
+@dataclass
+class TimingGraph:
+    """Arrays-of-lists timing graph over pin indices."""
+
+    pins: list[Pin]
+    pin_index: dict[str, int]             # pin full_name -> idx
+    fanout: list[list[tuple[int, float]]]   # idx -> [(to, delay)]
+    fanin: list[list[tuple[int, float]]]    # idx -> [(from, delay)]
+    sources: list[tuple[int, float]]        # (idx, launch delay)
+    endpoints: list[tuple[int, float]]      # (idx, setup requirement)
+    topo: list[int]                        # topological pin order
+
+    def index_of(self, pin: Pin) -> int:
+        try:
+            return self.pin_index[pin.full_name]
+        except KeyError:
+            raise TimingError(f"pin {pin.full_name} not in graph") from None
+
+
+def _is_false_path_pin(pin: Pin) -> bool:
+    """Scan-enable pins are static in functional mode."""
+    return pin.owner is not None and pin.name == "SE"
+
+
+def build_timing_graph(design: Design) -> TimingGraph:
+    """Build the graph from the design's netlist + routing parasitics."""
+    netlist = design.netlist
+    routing = design.require_routing()
+
+    pins: list[Pin] = []
+    pin_index: dict[str, int] = {}
+
+    def register(pin: Pin) -> int:
+        idx = pin_index.get(pin.full_name)
+        if idx is None:
+            idx = len(pins)
+            pins.append(pin)
+            pin_index[pin.full_name] = idx
+        return idx
+
+    for inst in netlist.instances.values():
+        for pin in inst.pins.values():
+            register(pin)
+    for port in netlist.ports.values():
+        register(port.pin)
+
+    fanout: list[list[tuple[int, float]]] = [[] for _ in pins]
+    fanin: list[list[tuple[int, float]]] = [[] for _ in pins]
+
+    def add_arc(src: int, dst: int, delay: float) -> None:
+        fanout[src].append((dst, delay))
+        fanin[dst].append((src, delay))
+
+    # Net arcs.
+    for net in netlist.signal_nets():
+        if net.driver is None:
+            continue
+        rc = routing.rc.get(net.name)
+        src = pin_index[net.driver.full_name]
+        for sink in net.sinks:
+            if _is_false_path_pin(sink):
+                continue
+            wire = 0.0
+            if rc is not None:
+                wire = rc.sink_delay_ps.get(sink.full_name, 0.0)
+            add_arc(src, pin_index[sink.full_name], wire)
+
+    # Cell arcs for combinational cells.
+    sources: list[tuple[int, float]] = []
+    endpoints: list[tuple[int, float]] = []
+    for inst in netlist.instances.values():
+        out_pin = inst.output_pin
+        out_net = out_pin.net
+        load = 0.0
+        if out_net is not None:
+            rc = routing.rc.get(out_net.name)
+            load = rc.load_ff if rc is not None else out_net.sink_cap_ff()
+        delay = cell_output_delay(inst.cell, load)
+        out_idx = pin_index[out_pin.full_name]
+        if inst.is_sequential:
+            sources.append((out_idx, delay))    # clk->q launch
+            req = setup_time(inst.cell)
+            for pin in inst.input_pins():
+                if _is_false_path_pin(pin) or pin.name == "SI":
+                    continue    # scan shift is checked at scan speed
+                endpoints.append((pin_index[pin.full_name], req))
+        else:
+            for pin in inst.input_pins():
+                if _is_false_path_pin(pin):
+                    continue
+                add_arc(pin_index[pin.full_name], out_idx, delay)
+
+    # Ports.
+    for port in netlist.ports.values():
+        idx = pin_index[port.pin.full_name]
+        if port.false_path:
+            continue
+        if port.direction == "in":
+            if port.pin.net is not None and port.pin.net.is_clock:
+                continue    # ideal clock source: not a data source
+            net = port.pin.net
+            load = 0.0
+            if net is not None:
+                rc = routing.rc.get(net.name)
+                load = rc.load_ff if rc is not None else 0.0
+            sources.append((idx, port_drive_delay(load)))
+        else:
+            endpoints.append((idx, 0.0))
+
+    topo = _topological_pins(pins, fanin, fanout)
+    return TimingGraph(pins=pins, pin_index=pin_index, fanout=fanout,
+                       fanin=fanin, sources=sources, endpoints=endpoints,
+                       topo=topo)
+
+
+def _topological_pins(pins, fanin, fanout) -> list[int]:
+    """Kahn's algorithm over pin arcs; raises on cycles."""
+    n = len(pins)
+    indeg = [len(fanin[i]) for i in range(n)]
+    ready = [i for i in range(n) if indeg[i] == 0]
+    order: list[int] = []
+    head = 0
+    while head < len(ready):
+        u = ready[head]
+        head += 1
+        order.append(u)
+        for v, _ in fanout[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                ready.append(v)
+    if len(order) != n:
+        raise TimingError(
+            f"timing graph has a cycle: ordered {len(order)}/{n} pins")
+    return order

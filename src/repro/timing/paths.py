@@ -1,0 +1,84 @@
+"""K-worst timing path extraction.
+
+One worst path per endpoint (walking the worst-arrival predecessor
+chain), sorted by slack — the standard path report, and the unit the
+GNN consumes: Section III-B models each timing path as a node sequence
+where every node is a net folded onto its driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.net import Net, Pin
+from repro.timing.sta import TimingReport
+
+
+@dataclass
+class TimingPath:
+    """One source-to-endpoint path.
+
+    ``pins`` runs source -> endpoint through alternating net and cell
+    arcs.  ``slack_ps`` is the endpoint slack.
+    """
+
+    endpoint: str
+    slack_ps: float
+    arrival_ps: float
+    pins: list[Pin]
+
+    @property
+    def depth(self) -> int:
+        """Number of cell stages on the path."""
+        return max(0, len(self.pins) // 2)
+
+    def stages(self) -> list[tuple[Pin, Net]]:
+        """The node-centric view: (driver pin, net) per hop.
+
+        Every driving pin on the path (cell output or input port)
+        paired with the net it drives — the paper's hyperedge-to-node
+        fold: MLS decisions attach to these driver nodes.
+        """
+        out: list[tuple[Pin, Net]] = []
+        for pin in self.pins:
+            if pin.drives and pin.net is not None and not pin.net.is_clock:
+                out.append((pin, pin.net))
+        return out
+
+    def net_names(self) -> list[str]:
+        return [net.name for _, net in self.stages()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TimingPath({self.endpoint}, slack={self.slack_ps:.1f}ps, "
+                f"depth={self.depth})")
+
+
+def extract_worst_paths(report: TimingReport, k: int | None = None,
+                        only_violating: bool = False) -> list[TimingPath]:
+    """Worst path per endpoint, worst-slack first, truncated to *k*.
+
+    ``only_violating`` restricts to endpoints with negative slack
+    (Figure 2's violation points).
+    """
+    graph = report.graph
+    ranked = sorted(report.endpoint_slack.items(), key=lambda t: (t[1], t[0]))
+    if only_violating:
+        ranked = [(p, s) for p, s in ranked if s < 0]
+    if k is not None:
+        ranked = ranked[:k]
+    paths: list[TimingPath] = []
+    for endpoint_name, slack in ranked:
+        idx = graph.pin_index[endpoint_name]
+        chain: list[int] = []
+        node = idx
+        while node != -1:
+            chain.append(node)
+            node = report.worst_pred[node]
+        chain.reverse()
+        paths.append(TimingPath(
+            endpoint=endpoint_name,
+            slack_ps=slack,
+            arrival_ps=report.arrival[idx],
+            pins=[graph.pins[i] for i in chain],
+        ))
+    return paths

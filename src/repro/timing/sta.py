@@ -1,0 +1,127 @@
+"""Arrival/required propagation and slack reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import math
+
+from repro.design import Design
+from repro.timing.graph import TimingGraph, build_timing_graph
+from repro.units import ps_to_ns
+
+_NEG_INF = -math.inf
+_POS_INF = math.inf
+
+
+@dataclass
+class TimingReport:
+    """STA outcome for one design state.
+
+    Slacks/arrivals are in ps.  ``endpoint_slack`` maps endpoint pin
+    full-name -> slack; violating endpoints are those below zero —
+    the tables' "#Vio. Paths" (one worst path per endpoint, the
+    standard violation count a signoff report prints).
+    """
+
+    clock_period_ps: float
+    graph: TimingGraph
+    arrival: list[float]
+    required: list[float]
+    endpoint_slack: dict[str, float]
+    worst_pred: list[int]
+
+    @property
+    def wns_ps(self) -> float:
+        """Worst negative slack (0 when the design meets timing)."""
+        if not self.endpoint_slack:
+            return 0.0
+        return min(0.0, min(self.endpoint_slack.values()))
+
+    @property
+    def tns_ns(self) -> float:
+        """Total negative slack in ns (paper's TNS unit)."""
+        total = sum(s for s in self.endpoint_slack.values() if s < 0)
+        return ps_to_ns(total)
+
+    @property
+    def num_violating(self) -> int:
+        return sum(1 for s in self.endpoint_slack.values() if s < 0)
+
+    @property
+    def num_endpoints(self) -> int:
+        return len(self.endpoint_slack)
+
+    def violating_endpoints(self) -> list[tuple[str, float]]:
+        """(pin, slack) for violations, worst first."""
+        out = [(p, s) for p, s in self.endpoint_slack.items() if s < 0]
+        out.sort(key=lambda t: t[1])
+        return out
+
+    def effective_freq_mhz(self) -> float:
+        """Highest frequency the design would close at: 1/(T - WNS)."""
+        period = self.clock_period_ps - self.wns_ps
+        return 1e6 / period
+
+    def slack_of(self, pin_full_name: str) -> float:
+        return self.endpoint_slack[pin_full_name]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "wns_ps": self.wns_ps,
+            "tns_ns": self.tns_ns,
+            "violating": self.num_violating,
+            "endpoints": self.num_endpoints,
+            "eff_freq_mhz": self.effective_freq_mhz(),
+        }
+
+
+def run_sta(design: Design, graph: TimingGraph | None = None) -> TimingReport:
+    """Full STA at the design's clock constraint.
+
+    Pass a prebuilt *graph* to skip reconstruction when the netlist
+    and routing have not changed structurally (parasitics baked into
+    arc delays do change with routing, so rebuild after reroutes).
+    """
+    if graph is None:
+        graph = build_timing_graph(design)
+    n = len(graph.pins)
+    arrival = [_NEG_INF] * n
+    worst_pred = [-1] * n
+    for idx, launch in graph.sources:
+        if launch > arrival[idx]:
+            arrival[idx] = launch
+
+    for u in graph.topo:
+        au = arrival[u]
+        if au == _NEG_INF:
+            continue
+        for v, delay in graph.fanout[u]:
+            cand = au + delay
+            if cand > arrival[v]:
+                arrival[v] = cand
+                worst_pred[v] = u
+
+    period = design.clock_period_ps
+    required = [_POS_INF] * n
+    endpoint_slack: dict[str, float] = {}
+    for idx, setup in graph.endpoints:
+        req = period - setup
+        required[idx] = min(required[idx], req)
+        at = arrival[idx]
+        if at == _NEG_INF:
+            continue    # unreachable endpoint (e.g. tied-off logic)
+        endpoint_slack[graph.pins[idx].full_name] = req - at
+
+    for u in reversed(graph.topo):
+        ru = required[u]
+        for v, delay in graph.fanout[u]:
+            cand = required[v] - delay
+            if cand < ru:
+                ru = cand
+        required[u] = ru
+
+    return TimingReport(clock_period_ps=period, graph=graph,
+                        arrival=arrival, required=required,
+                        endpoint_slack=endpoint_slack,
+                        worst_pred=worst_pred)

@@ -1,0 +1,110 @@
+"""Unit conventions and conversion helpers.
+
+The library uses one canonical unit per quantity everywhere in its core
+data structures, chosen to keep typical values near 1.0:
+
+========== ============ =======================================
+Quantity   Canonical    Typical magnitude
+========== ============ =======================================
+distance   micrometre   cell pitch ~1, die ~1000
+time       picosecond   gate delay ~10, clock period ~400
+capacitance femtofarad  pin cap ~1, wire ~100
+resistance ohm          wire ~100, via ~0.5
+voltage    volt         0.81 / 0.9
+power      milliwatt    cells ~1e-3, designs ~1e3
+frequency  megahertz    2000-2500
+========== ============ =======================================
+
+Helpers convert to/from display units used by the paper's tables
+(ns for TNS, mm for wirelength, pF for caps).
+"""
+
+from __future__ import annotations
+
+# -- distance ---------------------------------------------------------------
+
+UM_PER_MM = 1000.0
+
+
+def mm_to_um(mm: float) -> float:
+    """Convert millimetres to the canonical micrometres."""
+    return mm * UM_PER_MM
+
+
+def um_to_mm(um: float) -> float:
+    """Convert canonical micrometres to millimetres."""
+    return um / UM_PER_MM
+
+
+def um_to_m(um: float) -> float:
+    """Convert canonical micrometres to metres (paper reports WL in m)."""
+    return um * 1e-6
+
+
+# -- time -------------------------------------------------------------------
+
+PS_PER_NS = 1000.0
+
+
+def ns_to_ps(ns: float) -> float:
+    """Convert nanoseconds to the canonical picoseconds."""
+    return ns * PS_PER_NS
+
+
+def ps_to_ns(ps: float) -> float:
+    """Convert canonical picoseconds to nanoseconds."""
+    return ps / PS_PER_NS
+
+
+# -- capacitance ------------------------------------------------------------
+
+FF_PER_PF = 1000.0
+
+
+def pf_to_ff(pf: float) -> float:
+    """Convert picofarads to the canonical femtofarads."""
+    return pf * FF_PER_PF
+
+
+def ff_to_pf(ff: float) -> float:
+    """Convert canonical femtofarads to picofarads."""
+    return ff / FF_PER_PF
+
+
+# -- frequency / period -----------------------------------------------------
+
+
+def mhz_to_period_ps(mhz: float) -> float:
+    """Clock period in ps for a frequency in MHz.
+
+    >>> mhz_to_period_ps(2500)
+    400.0
+    """
+    if mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {mhz}")
+    return 1e6 / mhz
+
+
+def period_ps_to_mhz(period_ps: float) -> float:
+    """Frequency in MHz for a clock period in ps."""
+    if period_ps <= 0:
+        raise ValueError(f"period must be positive, got {period_ps}")
+    return 1e6 / period_ps
+
+
+# -- RC delay ---------------------------------------------------------------
+# With R in ohm and C in fF, R*C yields femtoseconds * 1e0?  ohm*fF =
+# 1e-15 s = 1 fs.  Canonical time is ps, so divide by 1000.
+
+FS_PER_PS = 1000.0
+
+
+def rc_to_ps(r_ohm: float, c_ff: float) -> float:
+    """Elmore product of ohms and femtofarads, expressed in picoseconds.
+
+    1 kohm x 1000 fF = 1 ns:
+
+    >>> rc_to_ps(1000.0, 1000.0)
+    1000.0
+    """
+    return (r_ohm * c_ff) / FS_PER_PS

@@ -1,0 +1,53 @@
+"""Design container and TechSetup tests."""
+
+import pytest
+
+from repro.design import Design, TechSetup
+from repro.errors import FlowError
+from repro.netlist import Netlist
+from repro.units import mhz_to_period_ps
+
+
+class TestTechSetup:
+    def test_hetero_build(self):
+        tech = TechSetup.build("16nm", "28nm", 6)
+        assert tech.is_heterogeneous
+        assert tech.node_of(0).name == "16nm"
+        assert tech.node_of(1).name == "28nm"
+        assert len(tech.stack_of(0)) == 6
+        assert set(tech.libraries) == {"logic", "memory"}
+
+    def test_homo_build(self):
+        tech = TechSetup.build("28nm", "28nm", 8)
+        assert not tech.is_heterogeneous
+        assert len(tech.stack_of(1)) == 8
+
+    def test_f2f_defaults(self):
+        tech = TechSetup.build()
+        assert tech.f2f.resistance == 0.5
+        assert tech.f2f.capacitance == 0.2
+
+
+class TestDesign:
+    def test_clock_period_from_frequency(self):
+        design = Design(Netlist("d"), TechSetup.build(), 2500.0)
+        assert design.clock_period_ps == pytest.approx(
+            mhz_to_period_ps(2500.0))
+
+    def test_stage_guards(self):
+        design = Design(Netlist("d"), TechSetup.build(), 1000.0)
+        with pytest.raises(FlowError, match="tier"):
+            design.require_tiers()
+        with pytest.raises(FlowError, match="unplaced"):
+            design.require_placement()
+        with pytest.raises(FlowError, match="floorplan"):
+            design.require_floorplan()
+        with pytest.raises(FlowError, match="unrouted"):
+            design.require_routing()
+
+    def test_guards_pass_after_flow(self, routed_small_design):
+        d = routed_small_design
+        assert d.require_tiers() is d.tiers
+        assert d.require_placement() is d.placement
+        assert d.require_floorplan() is d.floorplan
+        assert d.require_routing() is d.routing

@@ -1,0 +1,233 @@
+"""Netlist data-model tests: invariants, surgery, traversal."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Netlist, NetlistBuilder
+from repro.tech import NODE_28NM, build_library
+
+LIB = build_library(NODE_28NM)
+
+
+def small_netlist() -> Netlist:
+    nl = Netlist("t")
+    a = nl.add_port("a", "in")
+    b = nl.add_port("b", "in")
+    y = nl.add_port("y", "out")
+    na = nl.add_net("na")
+    nb = nl.add_net("nb")
+    ny = nl.add_net("ny")
+    na.attach(a.pin)
+    nb.attach(b.pin)
+    g = nl.add_instance("g0", LIB.get("NAND2"))
+    na.attach(g.pin("A"))
+    nb.attach(g.pin("B"))
+    ny.attach(g.output_pin)
+    ny.attach(y.pin)
+    return nl
+
+
+class TestConstruction:
+    def test_valid_small_netlist(self):
+        small_netlist().validate()
+
+    def test_duplicate_instance_rejected(self):
+        nl = small_netlist()
+        with pytest.raises(NetlistError, match="duplicate instance"):
+            nl.add_instance("g0", LIB.get("INV"))
+
+    def test_duplicate_net_rejected(self):
+        nl = small_netlist()
+        with pytest.raises(NetlistError, match="duplicate net"):
+            nl.add_net("na")
+
+    def test_duplicate_port_rejected(self):
+        nl = small_netlist()
+        with pytest.raises(NetlistError, match="duplicate port"):
+            nl.add_port("a", "in")
+
+    def test_second_driver_rejected(self):
+        nl = small_netlist()
+        inv = nl.add_instance("i0", LIB.get("INV"))
+        nl.net("na").attach(inv.pin("A"))
+        with pytest.raises(NetlistError, match="second driver"):
+            nl.net("ny").attach(inv.output_pin)
+
+    def test_double_attach_rejected(self):
+        nl = small_netlist()
+        with pytest.raises(NetlistError, match="already on net"):
+            nl.net("nb").attach(nl.instance("g0").pin("A"))
+
+    def test_unknown_lookups(self):
+        nl = small_netlist()
+        with pytest.raises(NetlistError):
+            nl.instance("nope")
+        with pytest.raises(NetlistError):
+            nl.net("nope")
+        with pytest.raises(NetlistError):
+            nl.port("nope")
+        with pytest.raises(NetlistError):
+            nl.instance("g0").pin("Z")
+
+    def test_fresh_name_unique(self):
+        nl = small_netlist()
+        names = {nl.fresh_name("x") for _ in range(50)}
+        assert len(names) == 50
+
+
+class TestValidation:
+    def test_undriven_net_fails(self):
+        nl = small_netlist()
+        dangling = nl.add_net("dangle")
+        inv = nl.add_instance("i0", LIB.get("INV"))
+        dangling.attach(inv.pin("A"))
+        out = nl.add_net("iout")
+        out.attach(inv.output_pin)
+        out.attach(nl.add_port("y2", "out").pin)
+        with pytest.raises(NetlistError, match="no driver"):
+            nl.validate()
+
+    def test_sinkless_net_fails(self):
+        nl = small_netlist()
+        inv = nl.add_instance("i0", LIB.get("INV"))
+        nl.net("na").attach(inv.pin("A"))
+        lonely = nl.add_net("lonely")
+        lonely.attach(inv.output_pin)
+        with pytest.raises(NetlistError, match="no sinks"):
+            nl.validate()
+
+    def test_clock_pin_on_signal_net_fails(self):
+        nl = small_netlist()
+        ff = nl.add_instance("f0", LIB.get("DFF"))
+        nl.net("na").attach(ff.pin("D"))
+        nl.net("nb").attach(ff.clock_pin)      # nb is not a clock net
+        q = nl.add_net("q")
+        q.attach(ff.output_pin)
+        q.attach(nl.add_port("q_out", "out").pin)
+        with pytest.raises(NetlistError, match="non-clock net"):
+            nl.validate()
+
+
+class TestSurgery:
+    def test_split_net_at_sinks(self):
+        nl = small_netlist()
+        net = nl.net("ny")
+        sink = net.sinks[0]
+        new = nl.split_net_at_sinks(net, [sink])
+        assert sink.net is new
+        assert new.driver is None
+        assert not net.sinks
+
+    def test_split_rejects_foreign_pin(self):
+        nl = small_netlist()
+        with pytest.raises(NetlistError, match="not a sink"):
+            nl.split_net_at_sinks(nl.net("ny"),
+                                  [nl.instance("g0").pin("A")])
+
+    def test_swap_cell_dff_to_sdff(self):
+        builder = NetlistBuilder("s", {"logic": LIB})
+        clk = builder.clock_net()
+        clk.attach(builder.netlist.add_port("ck", "in").pin)
+        d = builder.input("d")
+        q = builder.flop(d, clk)
+        builder.output("q", q)
+        nl = builder.done()
+        ff = next(iter(nl.sequential_instances()))
+        nl.swap_cell(ff, LIB.get("SDFF"))
+        assert ff.cell.name == "SDFF"
+        assert ff.pin("D").net is not None          # connection kept
+        assert ff.pin("SI").net is None             # new pin, unconnected
+        assert ff.output_pin.net is not None
+
+    def test_swap_cell_rejects_lost_connected_pin(self):
+        nl = small_netlist()
+        gate = nl.instance("g0")
+        with pytest.raises(NetlistError, match="no counterpart"):
+            nl.swap_cell(gate, LIB.get("INV"))      # B is connected
+
+
+class TestTraversal:
+    def test_topological_order_respects_dependencies(self):
+        nl = small_netlist()
+        inv = nl.add_instance("i0", LIB.get("INV"))
+        nl.net("ny").attach(inv.pin("A"))
+        iout = nl.add_net("iout")
+        iout.attach(inv.output_pin)
+        iout.attach(nl.add_port("y2", "out").pin)
+        order = [i.name for i in nl.topological_order()]
+        assert order.index("g0") < order.index("i0")
+
+    def test_loop_detected(self):
+        nl = Netlist("loop")
+        a = nl.add_instance("a", LIB.get("INV"))
+        b = nl.add_instance("b", LIB.get("INV"))
+        n1 = nl.add_net("n1")
+        n2 = nl.add_net("n2")
+        n1.attach(a.output_pin)
+        n1.attach(b.pin("A"))
+        n2.attach(b.output_pin)
+        n2.attach(a.pin("A"))
+        with pytest.raises(NetlistError, match="loop"):
+            nl.topological_order()
+
+    def test_stats(self):
+        nl = small_netlist()
+        stats = nl.stats()
+        assert stats["instances"] == 1
+        assert stats["nets"] == 3
+        assert stats["ports"] == 3
+        assert stats["max_fanout"] == 1
+
+    def test_net_properties(self):
+        nl = small_netlist()
+        net = nl.net("na")
+        assert net.degree == 2
+        assert net.fanout == 1
+        assert net.sink_cap_ff() > 0
+
+    def test_total_cell_area(self):
+        nl = small_netlist()
+        assert nl.total_cell_area() == pytest.approx(
+            LIB.get("NAND2").area_um2)
+
+
+class TestBuilder:
+    def test_gate_wrong_arity(self, tiny_builder):
+        a = tiny_builder.input("a")
+        with pytest.raises(NetlistError, match="takes 2 inputs"):
+            tiny_builder.gate("NAND2", a)
+
+    def test_region_switch(self, tiny_builder):
+        assert tiny_builder.current_region == "logic"
+        with tiny_builder.region("memory"):
+            assert tiny_builder.current_region == "memory"
+            inst = tiny_builder.instance("INV")
+            assert inst.attrs["region"] == "memory"
+        assert tiny_builder.current_region == "logic"
+
+    def test_unknown_region(self, tiny_builder):
+        with pytest.raises(NetlistError, match="unknown region"):
+            with tiny_builder.region("analog"):
+                pass
+
+    def test_module_prefixes_names(self, tiny_builder):
+        with tiny_builder.module("core0"):
+            inst = tiny_builder.instance("INV")
+        assert inst.name.startswith("core0/")
+        assert inst.attrs["module"] == "core0"
+
+    def test_buffer_tree_leaf_count(self, tiny_builder):
+        a = tiny_builder.input("a")
+        for want in (1, 2, 5, 16, 23):
+            leaves = tiny_builder.buffer_tree(a, want, hint=f"bt{want}")
+            assert len(leaves) == want
+            # every leaf is a distinct net
+            assert len({l.name for l in leaves}) == want
+
+    def test_register_word(self, tiny_builder):
+        clk = tiny_builder.clock_net()
+        clk.attach(tiny_builder.netlist.add_port("ck", "in").pin)
+        bits = [tiny_builder.input(f"d{i}") for i in range(4)]
+        qs = tiny_builder.register_word(bits, clk)
+        assert len(qs) == 4
+        assert len(tiny_builder.netlist.sequential_instances()) == 4

@@ -1,0 +1,109 @@
+"""Tier assignment and FM partitioning tests."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.netlist.generators import MaeriConfig, generate_maeri
+from repro.partition import (TIER_LOGIC, TIER_MEMORY, TierAssignment,
+                             cross_tier_nets, fm_bipartition, fm_refine,
+                             partition_memory_on_logic)
+from repro.partition.fm import cut_size
+from repro.rng import SeedBundle
+
+
+@pytest.fixture(scope="module")
+def maeri(hetero_tech):
+    return generate_maeri(MaeriConfig(pe_count=16, bandwidth=8),
+                          hetero_tech.libraries, SeedBundle(5))
+
+
+class TestMemoryOnLogic:
+    def test_macros_on_memory_tier(self, maeri):
+        tiers = partition_memory_on_logic(maeri)
+        for name, inst in maeri.instances.items():
+            if inst.is_macro:
+                assert tiers.of_instance(name) == TIER_MEMORY
+
+    def test_logic_region_on_logic_tier(self, maeri):
+        tiers = partition_memory_on_logic(maeri)
+        for name, inst in maeri.instances.items():
+            if inst.attrs.get("region") == "logic":
+                assert tiers.of_instance(name) == TIER_LOGIC
+
+    def test_cross_tier_nets_exist(self, maeri):
+        tiers = partition_memory_on_logic(maeri)
+        crossing = cross_tier_nets(maeri, tiers)
+        assert crossing
+        for net in crossing:
+            assert tiers.is_cross_tier(net)
+
+    def test_counts_sum(self, maeri):
+        tiers = partition_memory_on_logic(maeri)
+        bottom, top = tiers.counts()
+        assert bottom + top == len(maeri.instances)
+        assert bottom > top        # logic dominates MAERI
+
+
+class TestTierAssignment:
+    def test_unassigned_raises(self, maeri):
+        tiers = TierAssignment(maeri)
+        with pytest.raises(PartitionError, match="unassigned"):
+            tiers.of_instance(next(iter(maeri.instances)))
+
+    def test_bad_tier_value(self, maeri):
+        tiers = TierAssignment(maeri)
+        with pytest.raises(PartitionError):
+            tiers.set_instance(next(iter(maeri.instances)), 2)
+
+    def test_unknown_instance(self, maeri):
+        tiers = TierAssignment(maeri)
+        with pytest.raises(PartitionError):
+            tiers.set_instance("ghost", 0)
+
+    def test_validate_catches_missing(self, maeri):
+        tiers = TierAssignment(maeri)
+        with pytest.raises(PartitionError):
+            tiers.validate()
+
+    def test_area_accounting(self, maeri):
+        tiers = partition_memory_on_logic(maeri)
+        total = tiers.area_on(0) + tiers.area_on(1)
+        assert total == pytest.approx(maeri.total_cell_area())
+
+
+class TestFM:
+    def test_bipartition_balanced(self, maeri):
+        side = fm_bipartition(maeri, seed=3)
+        areas = [0.0, 0.0]
+        for name, s in side.items():
+            areas[s] += maeri.instance(name).cell.area_um2
+        frac = areas[0] / sum(areas)
+        assert 0.35 <= frac <= 0.65
+
+    def test_bipartition_improves_over_random(self, maeri):
+        import numpy as np
+        rng = np.random.default_rng(3)
+        random_side = {n: int(rng.integers(2)) for n in maeri.instances}
+        refined = fm_bipartition(maeri, seed=3)
+        assert cut_size(maeri, refined) < cut_size(maeri, random_side)
+
+    def test_refine_keeps_macros_locked(self, maeri):
+        tiers = partition_memory_on_logic(maeri)
+        before = {n: tiers.of_instance(n) for n, i in maeri.instances.items()
+                  if i.is_macro}
+        fm_refine(maeri, tiers)
+        for name, tier in before.items():
+            assert tiers.of_instance(name) == tier
+
+    def test_refine_does_not_worsen_cut(self, maeri):
+        tiers = partition_memory_on_logic(maeri)
+        side_before = {n: tiers.of_instance(n) for n in maeri.instances}
+        before = cut_size(maeri, side_before)
+        fm_refine(maeri, tiers)
+        side_after = {n: tiers.of_instance(n) for n in maeri.instances}
+        assert cut_size(maeri, side_after) <= before
+
+    def test_empty_netlist_rejected(self):
+        from repro.netlist import Netlist
+        with pytest.raises(PartitionError):
+            fm_bipartition(Netlist("empty"))

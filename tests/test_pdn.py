@@ -1,0 +1,98 @@
+"""PDN grid and IR-drop tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PDNError
+from repro.pdn import PdnConfig, build_pdn, size_pdn, solve_irdrop
+from repro.power import default_power_plan
+
+
+class TestPdnConfig:
+    def test_utilization(self):
+        assert PdnConfig(2.0, 8.0).utilization == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(PDNError):
+            PdnConfig(0.0, 8.0)
+        with pytest.raises(PDNError):
+            PdnConfig(9.0, 8.0)       # width >= pitch
+
+
+class TestGrid:
+    def test_build_shapes(self, routed_small_design):
+        cfg = PdnConfig(2.0, 7.0)
+        grid = build_pdn(routed_small_design, cfg, tier=0, vdd=0.81)
+        assert grid.nx >= 2 and grid.ny >= 2
+        assert grid.pad_nodes
+        assert grid.num_nodes == grid.nx * grid.ny
+
+    def test_bottom_tier_pads_on_boundary(self, routed_small_design):
+        grid = build_pdn(routed_small_design, PdnConfig(2.0, 7.0), 0, 0.81)
+        for node in grid.pad_nodes:
+            iy, ix = divmod(node, grid.nx)
+            assert ix in (0, grid.nx - 1) or iy in (0, grid.ny - 1)
+
+    def test_top_tier_pads_distributed(self, routed_small_design):
+        grid = build_pdn(routed_small_design, PdnConfig(2.0, 7.0), 1, 0.90)
+        interior = [n for n in grid.pad_nodes
+                    if 0 < n % grid.nx < grid.nx - 1]
+        assert interior                     # F2F power lattice inside
+
+    def test_wider_stripes_less_resistance(self, routed_small_design):
+        thin = build_pdn(routed_small_design, PdnConfig(1.0, 7.0), 0, 0.81)
+        wide = build_pdn(routed_small_design, PdnConfig(3.0, 7.0), 0, 0.81)
+        assert wide.r_seg_x < thin.r_seg_x
+
+
+class TestIRDrop:
+    def test_drop_nonnegative_and_bounded(self, routed_small_design):
+        plan = default_power_plan(routed_small_design)
+        grid = build_pdn(routed_small_design, PdnConfig(2.0, 7.0), 0, 0.81)
+        report = solve_irdrop(routed_small_design, grid, plan)
+        drop = report.drop_map_mv()
+        assert (drop >= -1e-6).all()
+        assert report.worst_drop_v < 0.81
+        assert report.drop_pct_of_lowest == pytest.approx(
+            100.0 * report.worst_drop_v / plan.lowest_vdd)
+
+    def test_wider_stripes_reduce_drop(self, routed_small_design):
+        plan = default_power_plan(routed_small_design)
+        thin = solve_irdrop(
+            routed_small_design,
+            build_pdn(routed_small_design, PdnConfig(1.0, 14.0), 0, 0.81),
+            plan)
+        wide = solve_irdrop(
+            routed_small_design,
+            build_pdn(routed_small_design, PdnConfig(4.0, 5.0), 0, 0.81),
+            plan)
+        assert wide.worst_drop_v <= thin.worst_drop_v + 1e-9
+
+    def test_current_conservation(self, routed_small_design):
+        plan = default_power_plan(routed_small_design)
+        grid = build_pdn(routed_small_design, PdnConfig(2.0, 7.0), 0, 0.81)
+        report = solve_irdrop(routed_small_design, grid, plan)
+        power = report.total_current_a * 0.81
+        assert power > 0
+
+
+class TestSizing:
+    def test_meets_target(self, routed_small_design):
+        result = size_pdn(routed_small_design, target_pct=10.0)
+        assert result.met_target
+        assert result.worst_drop_pct <= 10.0
+
+    def test_tighter_target_more_metal(self, routed_small_design):
+        loose = size_pdn(routed_small_design, target_pct=10.0)
+        tight = size_pdn(routed_small_design, target_pct=0.5)
+        assert tight.config.utilization >= loose.config.utilization
+
+    def test_bad_target(self, routed_small_design):
+        with pytest.raises(PDNError):
+            size_pdn(routed_small_design, target_pct=0.0)
+
+    def test_summary(self, routed_small_design):
+        summary = size_pdn(routed_small_design).summary()
+        for key in ("width_um", "pitch_um", "utilization_pct",
+                    "worst_drop_pct", "met_target"):
+            assert key in summary

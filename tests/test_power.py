@@ -1,0 +1,92 @@
+"""Power-domain and power-estimation tests."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.mls import route_with_mls
+from repro.power import (default_power_plan, estimate_power,
+                         insert_level_shifters)
+from repro.power.domains import level_shifter_instances
+
+from tests.conftest import build_small_design
+
+
+class TestPowerPlan:
+    def test_hetero_plan_needs_shifters(self, routed_small_design):
+        plan = default_power_plan(routed_small_design)
+        assert plan.needs_level_shifters
+        assert plan.lowest_vdd == pytest.approx(0.81)
+        assert plan.domain_of_tier(0).vdd == pytest.approx(0.81)
+        assert plan.domain_of_tier(1).vdd == pytest.approx(0.90)
+
+    def test_homo_plan_single_vdd(self, homo_tech):
+        design = build_small_design(homo_tech, routed=False, buffered=False)
+        plan = default_power_plan(design)
+        assert not plan.needs_level_shifters
+
+
+class TestLevelShifters:
+    def test_inserted_on_every_crossing(self, hetero_tech):
+        design = build_small_design(hetero_tech, routed=False,
+                                    buffered=False)
+        plan = default_power_plan(design)
+        count = insert_level_shifters(design, plan)
+        assert count > 0
+        assert len(level_shifter_instances(design)) == count
+        design.netlist.validate()
+        # After insertion no signal net has sinks on a foreign tier
+        # without a shifter in between.
+        tiers = design.require_tiers()
+        for net in design.netlist.signal_nets():
+            if net.driver is None:
+                continue
+            dtier = tiers.of_pin(net.driver)
+            for sink in net.sinks:
+                if tiers.of_pin(sink) != dtier:
+                    owner = sink.owner
+                    assert owner is not None and \
+                        owner.cell.is_level_shifter
+
+    def test_homo_design_gets_none(self, homo_tech):
+        design = build_small_design(homo_tech, routed=False, buffered=False)
+        plan = default_power_plan(design)
+        assert insert_level_shifters(design, plan) == 0
+
+    def test_rejects_routed_design(self, hetero_tech):
+        design = build_small_design(hetero_tech)   # already routed
+        plan = default_power_plan(design)
+        with pytest.raises(FlowError, match="before routing"):
+            insert_level_shifters(design, plan)
+
+
+class TestEstimate:
+    def test_breakdown_positive(self, routed_small_design):
+        report = estimate_power(routed_small_design)
+        assert report.dynamic_mw > 0
+        assert report.leakage_mw > 0
+        assert report.clock_mw > 0
+        assert report.total_mw == pytest.approx(
+            report.dynamic_mw + report.leakage_mw + report.clock_mw)
+
+    def test_scales_with_activity(self, routed_small_design):
+        low = estimate_power(routed_small_design, activity=0.1)
+        high = estimate_power(routed_small_design, activity=0.3)
+        assert high.dynamic_mw > 2.0 * low.dynamic_mw
+
+    def test_ls_power_subset(self, hetero_tech):
+        design = build_small_design(hetero_tech, routed=False,
+                                    buffered=False)
+        plan = default_power_plan(design)
+        insert_level_shifters(design, plan)
+        from repro.opt import insert_buffers
+        insert_buffers(design)
+        route_with_mls(design, set())
+        report = estimate_power(design, plan)
+        assert 0 < report.level_shifter_mw < report.total_mw
+        assert report.num_level_shifters > 0
+
+    def test_summary_keys(self, routed_small_design):
+        summary = estimate_power(routed_small_design).summary()
+        for key in ("total_mw", "dynamic_mw", "leakage_mw", "clock_mw",
+                    "ls_mw", "ls_count"):
+            assert key in summary

@@ -1,0 +1,180 @@
+"""STA tests with hand-computed references."""
+
+import math
+
+import pytest
+
+from repro.design import Design
+from repro.errors import TimingError
+from repro.mls import route_with_mls
+from repro.partition import partition_memory_on_logic
+from repro.place import place_design
+from repro.rng import SeedBundle
+from repro.timing import (PORT_DRIVE_RES, build_timing_graph,
+                          extract_worst_paths, net_whatif_delta, run_sta,
+                          setup_time)
+from repro.timing.delay import cell_output_delay
+from repro.units import mhz_to_period_ps
+
+from tests.conftest import TEST_SEED, make_chain_netlist
+
+
+@pytest.fixture()
+def chain_design(hetero_tech):
+    """reg -> 3 inverters -> reg, placed and routed."""
+    nl = make_chain_netlist(hetero_tech, stages=3)
+    design = Design(nl, hetero_tech, 1000.0)
+    design.tiers = partition_memory_on_logic(nl)
+    design.placement, design.floorplan = place_design(
+        nl, design.tiers, SeedBundle(TEST_SEED))
+    route_with_mls(design, set())
+    return design
+
+
+class TestChainSTA:
+    def test_arrival_matches_hand_sum(self, chain_design):
+        d = chain_design
+        report = run_sta(d)
+        graph = report.graph
+        nl = d.netlist
+        launch = next(i for i in nl.sequential_instances()
+                      if "launch" in i.name)
+        capture = next(i for i in nl.sequential_instances()
+                       if "capture" in i.name)
+        routing = d.require_routing()
+
+        def stage_delay(inst):
+            net = inst.output_pin.net
+            rc = routing.net_rc(net.name)
+            sink = net.sinks[0]
+            return cell_output_delay(inst.cell, rc.load_ff) \
+                + rc.sink_delay_ps[sink.full_name]
+
+        expected = stage_delay(launch)
+        inst = launch
+        # Walk the inverter chain to the capture flop.
+        while True:
+            sink = inst.output_pin.net.sinks[0]
+            inst = sink.owner
+            if inst is capture:
+                break
+            expected += stage_delay(inst)
+        endpoint = capture.pin("D").full_name
+        arrival = report.arrival[graph.pin_index[endpoint]]
+        assert arrival == pytest.approx(expected, rel=1e-9)
+
+    def test_slack_formula(self, chain_design):
+        report = run_sta(chain_design)
+        nl = chain_design.netlist
+        capture = next(i for i in nl.sequential_instances()
+                       if "capture" in i.name)
+        endpoint = capture.pin("D").full_name
+        arrival = report.arrival[report.graph.pin_index[endpoint]]
+        expected_slack = (chain_design.clock_period_ps
+                          - setup_time(capture.cell) - arrival)
+        assert report.endpoint_slack[endpoint] == \
+            pytest.approx(expected_slack)
+
+    def test_meets_timing_at_low_frequency(self, chain_design):
+        chain_design.clock_period_ps = mhz_to_period_ps(100)
+        report = run_sta(chain_design)
+        assert report.wns_ps == 0.0
+        assert report.tns_ns == 0.0
+        assert report.num_violating == 0
+        assert report.effective_freq_mhz() == pytest.approx(100.0)
+
+    def test_violates_at_high_frequency(self, chain_design):
+        chain_design.clock_period_ps = mhz_to_period_ps(20000)
+        report = run_sta(chain_design)
+        assert report.wns_ps < 0
+        assert report.num_violating >= 1
+        # Effective frequency accounts for the violation.
+        assert report.effective_freq_mhz() < 20000
+
+    def test_worst_path_walks_the_chain(self, chain_design):
+        chain_design.clock_period_ps = mhz_to_period_ps(20000)
+        report = run_sta(chain_design)
+        paths = extract_worst_paths(report, 1)
+        assert len(paths) == 1
+        path = paths[0]
+        assert path.depth >= 3
+        names = [p.full_name for p in path.pins]
+        assert any("launch" in n for n in names)
+        assert path.slack_ps == report.wns_ps
+
+    def test_tns_is_sum_of_negatives(self, chain_design):
+        chain_design.clock_period_ps = mhz_to_period_ps(20000)
+        report = run_sta(chain_design)
+        expected = sum(s for s in report.endpoint_slack.values() if s < 0)
+        assert report.tns_ns == pytest.approx(expected / 1000.0)
+
+
+class TestGraphStructure:
+    def test_clock_pins_not_in_arcs(self, routed_small_design):
+        graph = build_timing_graph(routed_small_design)
+        for inst in routed_small_design.netlist.sequential_instances():
+            ck = inst.clock_pin
+            idx = graph.pin_index[ck.full_name]
+            assert not graph.fanout[idx]
+            assert not graph.fanin[idx]
+
+    def test_sequential_outputs_are_sources(self, routed_small_design):
+        graph = build_timing_graph(routed_small_design)
+        source_idx = {i for i, _ in graph.sources}
+        for inst in routed_small_design.netlist.sequential_instances():
+            q = graph.pin_index[inst.output_pin.full_name]
+            assert q in source_idx
+
+    def test_endpoints_have_setup(self, routed_small_design):
+        graph = build_timing_graph(routed_small_design)
+        setups = dict(graph.endpoints)
+        for inst in routed_small_design.netlist.sequential_instances():
+            d_idx = graph.pin_index[inst.pin("D").full_name]
+            assert setups[d_idx] == pytest.approx(setup_time(inst.cell))
+
+    def test_topological_order_complete(self, routed_small_design):
+        graph = build_timing_graph(routed_small_design)
+        assert len(graph.topo) == len(graph.pins)
+
+    def test_false_path_port_excluded(self, hetero_tech):
+        from tests.conftest import build_small_design
+        from repro.dft import insert_scan
+        d = build_small_design(hetero_tech, routed=False, buffered=False)
+        insert_scan(d)
+        from repro.opt import insert_buffers
+        insert_buffers(d)
+        route_with_mls(d, set())
+        graph = build_timing_graph(d)
+        se_idx = graph.pin_index["port:scan_enable"]
+        assert se_idx not in {i for i, _ in graph.sources}
+        out_eps = {i for i, _ in graph.endpoints}
+        so_idx = graph.pin_index["port:scan_out"]
+        assert so_idx not in out_eps
+
+
+class TestWhatIf:
+    def test_delta_matches_probe_rc(self, fresh_small_design):
+        from repro.route import GlobalRouter
+        d = fresh_small_design
+        router = GlobalRouter(d)
+        routing = router.route_all()
+        tiers = d.require_tiers()
+        net = next(n for n in d.netlist.signal_nets()
+                   if not tiers.is_cross_tier(n) and n.fanout >= 1
+                   and n.driver is not None and n.driver.owner is not None
+                   and routing.tree(n.name).wirelength() > 20)
+        delta = net_whatif_delta(d, router, routing, net)
+        rc_off, rc_on, applied = router.probe_net(routing, net)
+        assert delta.applied == applied
+        drive = net.driver.owner.cell.drive_res
+        assert delta.delta_driver_ps == pytest.approx(
+            drive * (rc_on.load_ff - rc_off.load_ff) / 1000.0)
+
+    def test_worst_and_best_bounds(self, fresh_small_design):
+        from repro.route import GlobalRouter
+        d = fresh_small_design
+        router = GlobalRouter(d)
+        routing = router.route_all()
+        for net in list(d.netlist.signal_nets())[::17][:30]:
+            delta = net_whatif_delta(d, router, routing, net)
+            assert delta.best_delta_ps() <= delta.worst_delta_ps() + 1e-9

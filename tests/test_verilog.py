@@ -1,0 +1,102 @@
+"""Structural Verilog writer/parser round-trip tests."""
+
+import pytest
+
+from repro.errors import NetlistError, TechError
+from repro.netlist.generators import MaeriConfig, generate_maeri
+from repro.netlist.verilog import dumps, read_verilog, write_verilog
+from repro.rng import SeedBundle
+from repro.tech import NODE_28NM, build_library
+
+from tests.conftest import make_chain_netlist
+
+LIB = build_library(NODE_28NM)
+
+
+def _signature(netlist):
+    """Connectivity-complete signature for equality checks."""
+    insts = sorted(
+        (name, inst.cell.name,
+         tuple(sorted((p.name, p.net.name) for p in inst.pins.values()
+                      if p.net is not None)))
+        for name, inst in netlist.instances.items())
+    ports = sorted((p.name, p.direction, p.false_path,
+                    p.pin.net.name if p.pin.net else None)
+                   for p in netlist.ports.values())
+    nets = sorted((n.name, n.is_clock) for n in netlist.nets.values())
+    return insts, ports, nets
+
+
+class TestRoundTrip:
+    def test_chain_roundtrip(self, hetero_tech, tmp_path):
+        nl = make_chain_netlist(hetero_tech, stages=3)
+        path = tmp_path / "chain.v"
+        write_verilog(nl, path)
+        back = read_verilog(path, hetero_tech.libraries["logic"])
+        assert _signature(back) == _signature(nl)
+
+    def test_maeri_roundtrip_with_attrs(self, hetero_tech, tmp_path):
+        nl = generate_maeri(MaeriConfig(pe_count=16, bandwidth=8),
+                            hetero_tech.libraries, SeedBundle(5))
+        path = tmp_path / "maeri.v"
+        write_verilog(nl, path)
+        # Hetero designs need both libraries; read against a merged view.
+        merged_cells = {c.name: c for lib in hetero_tech.libraries.values()
+                        for c in lib}
+        from repro.tech.library import CellLibrary
+        merged = CellLibrary(NODE_28NM, list(merged_cells.values()))
+        back = read_verilog(path, merged)
+        assert len(back.instances) == len(nl.instances)
+        assert len(back.nets) == len(nl.nets)
+        # Region attrs survive.
+        some = next(n for n, i in nl.instances.items()
+                    if i.attrs.get("region") == "memory")
+        assert back.instance(some).attrs["region"] == "memory"
+
+    def test_clock_marking_survives(self, hetero_tech, tmp_path):
+        nl = make_chain_netlist(hetero_tech)
+        path = tmp_path / "c.v"
+        write_verilog(nl, path)
+        back = read_verilog(path, hetero_tech.libraries["logic"])
+        assert back.net("clk").is_clock
+
+    def test_escaped_identifiers(self, hetero_tech, tmp_path):
+        nl = make_chain_netlist(hetero_tech)
+        text = dumps(nl)
+        # Hierarchical names like 'launch_1' are plain, but generator
+        # names with '/' must be escaped.
+        nl2 = generate_maeri(MaeriConfig(pe_count=16, bandwidth=8),
+                             hetero_tech.libraries, SeedBundle(5))
+        text2 = dumps(nl2)
+        assert "\\pe0/" in text2
+        assert text.count("module ") == 1  # one module decl (+ endmodule)
+
+
+class TestParserErrors:
+    def test_unknown_cell_rejected(self, tmp_path):
+        path = tmp_path / "bad.v"
+        path.write_text(
+            "module m (a, y);\n  input a;\n  output y;\n"
+            "  wire n1;\n  wire n2;\n"
+            "  assign n1 = a;\n  assign y = n2;\n"
+            "  MYSTERY u0 (.A(n1), .Y(n2));\nendmodule\n")
+        with pytest.raises(TechError):
+            read_verilog(path, LIB)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "junk.v"
+        path.write_text("this is @ not ! verilog")
+        with pytest.raises(NetlistError):
+            read_verilog(path, LIB)
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "c.v"
+        path.write_text(
+            "// line comment\nmodule m (a, y);\n"
+            "  input a;\n  output y;\n"
+            "  /* block\n     comment */\n"
+            "  wire n1;\n  wire n2;\n"
+            "  assign n1 = a;\n  assign y = n2;\n"
+            "  INV u0 (.A(n1), .Y(n2));\nendmodule\n")
+        nl = read_verilog(path, LIB)
+        assert "u0" in nl.instances
