@@ -19,10 +19,11 @@ Public API tour:
 """
 
 from repro.design import Design, TechSetup
+from repro.parallel import ParallelConfig
 from repro.rng import SeedBundle
 from repro.core.flow import FlowConfig, FlowReport, run_flow
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Design",
@@ -30,6 +31,7 @@ __all__ = [
     "SeedBundle",
     "FlowConfig",
     "FlowReport",
+    "ParallelConfig",
     "run_flow",
     "__version__",
 ]

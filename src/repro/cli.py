@@ -26,6 +26,7 @@ from repro.core.flow import SELECTORS
 from repro.harness.designs import BENCHMARKS, DEFAULT_EXPERIMENT_SEED, \
     get_benchmark
 from repro.harness.tables import run_benchmark_flow
+from repro.parallel import ParallelConfig
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -35,6 +36,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=list(SELECTORS))
     parser.add_argument("--seed", type=int,
                         default=DEFAULT_EXPERIMENT_SEED)
+    _add_parallel(parser)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_parallel(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=_positive_int, default=1,
+                        help="worker processes for the what-if oracle, "
+                             "dataset build and fault simulation "
+                             "(1 = serial; results are identical)")
+    parser.add_argument("--chunk-size", type=_positive_int, default=None,
+                        help="items per worker task (default: auto)")
+
+
+def _parallel_config(args) -> ParallelConfig:
+    return ParallelConfig(workers=args.workers, chunk_size=args.chunk_size)
 
 
 def _cmd_list(_args) -> int:
@@ -49,7 +71,8 @@ def _cmd_list(_args) -> int:
 
 def _cmd_flow(args) -> int:
     spec = get_benchmark(args.benchmark)
-    report = run_benchmark_flow(spec, args.selector, seed=args.seed)
+    report = run_benchmark_flow(spec, args.selector, seed=args.seed,
+                                parallel=_parallel_config(args))
     print(f"{spec.paper_name} — selector {args.selector}")
     for key, value in report.row().items():
         print(f"  {key:<18} {value:>12.3f}" if isinstance(value, float)
@@ -62,18 +85,20 @@ def _cmd_table(args) -> int:
                                table3_dft_comparison, table4_heterogeneous,
                                table5_homogeneous, table6_testable)
     from repro.harness.tables import _PPA_METRICS
+    parallel = _parallel_config(args)
     if args.table == 1:
         for row in table1_single_net(args.seed):
             print(row)
     elif args.table == 3:
-        for strategy, row in table3_dft_comparison(args.seed).items():
+        for strategy, row in table3_dft_comparison(
+                args.seed, parallel=parallel).items():
             print(strategy, row)
     elif args.table in (4, 5, 6):
         builder = {4: table4_heterogeneous, 5: table5_homogeneous,
                    6: table6_testable}[args.table]
         columns = ["none", "gnn"] if args.table == 6 \
             else ["none", "sota", "gnn"]
-        for bench, rows in builder(args.seed).items():
+        for bench, rows in builder(args.seed, parallel=parallel).items():
             print(format_table(f"Table {args.table} ({bench})",
                                columns, rows, _PPA_METRICS))
             print()
@@ -86,7 +111,8 @@ def _cmd_table(args) -> int:
 def _cmd_timing(args) -> int:
     from repro.timing.report import render_summary
     spec = get_benchmark(args.benchmark)
-    report = run_benchmark_flow(spec, args.selector, seed=args.seed)
+    report = run_benchmark_flow(spec, args.selector, seed=args.seed,
+                                parallel=_parallel_config(args))
     print(render_summary(report.final_sta, num_paths=args.paths))
     return 0
 
@@ -94,7 +120,8 @@ def _cmd_timing(args) -> int:
 def _cmd_congestion(args) -> int:
     from repro.route.report import render_heatmap, render_utilization
     spec = get_benchmark(args.benchmark)
-    report = run_benchmark_flow(spec, args.selector, seed=args.seed)
+    report = run_benchmark_flow(spec, args.selector, seed=args.seed,
+                                parallel=_parallel_config(args))
     routing = report.design.require_routing()
     print(render_utilization(routing))
     print()
@@ -129,6 +156,7 @@ def main(argv: list[str] | None = None) -> int:
                        choices=(1, 3, 4, 5, 6))
     table.add_argument("--seed", type=int,
                        default=DEFAULT_EXPERIMENT_SEED)
+    _add_parallel(table)
 
     timing = sub.add_parser("timing", help="signoff-style timing report")
     _add_common(timing)

@@ -10,6 +10,7 @@ The :class:`FlowReport` carries every number Tables IV-VI print.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -18,6 +19,7 @@ from repro.design import Design, TechSetup
 from repro.errors import FlowError
 from repro.netlist.netlist import Netlist
 from repro.opt.buffering import insert_buffers
+from repro.parallel import ParallelConfig, dumps_snapshot, loads_snapshot
 from repro.partition import partition_memory_on_logic
 from repro.place import place_design
 from repro.power import (default_power_plan, estimate_power,
@@ -37,6 +39,8 @@ from repro.core.trainer import TrainConfig, train_gnn_mls
 NetlistFactory = Callable[[dict, SeedBundle], Netlist]
 
 SELECTORS = ("none", "sota", "gnn", "oracle", "random")
+
+DFT_STRATEGIES = ("net-based", "wire-based")
 
 
 @dataclass(frozen=True)
@@ -61,11 +65,19 @@ class FlowConfig:
     gnn_refine_iters: int = 2
     pdn: bool = True
     activity: float = 0.15
+    #: Worker fan-out for the what-if oracle, the dataset build and
+    #: the die-test fault simulation.  The default (workers=1) runs
+    #: every stage serially, bit-identical to the parallel paths.
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def __post_init__(self) -> None:
         if self.selector not in SELECTORS:
             raise FlowError(f"unknown selector {self.selector!r}; "
                             f"choose from {SELECTORS}")
+        if self.dft_strategy is not None \
+                and self.dft_strategy not in DFT_STRATEGIES:
+            raise FlowError(f"unknown DFT strategy {self.dft_strategy!r}; "
+                            f"choose from {DFT_STRATEGIES}")
         if self.dft_strategy is not None and not self.with_scan:
             raise FlowError("MLS DFT needs with_scan=True")
 
@@ -133,6 +145,46 @@ def prepare_design(factory: NetlistFactory, tech: TechSetup,
     return design
 
 
+#: prepare key -> pickled prepared design (see prepare_design_cached).
+_PREPARE_CACHE: dict[tuple, bytes] = {}
+
+
+def _prepare_cache_key(factory: NetlistFactory, tech: TechSetup,
+                       seeds: SeedBundle, config: FlowConfig) -> tuple:
+    """Everything prepare_design's output depends on.
+
+    ``tech`` is keyed by value (content digest) so fresh-but-equal
+    TechSetup instances — e.g. BenchmarkSpec.tech() called once per
+    selector — share one entry.  Only the config fields prepare
+    actually reads participate.
+    """
+    tech_digest = hashlib.sha256(dumps_snapshot(tech)).hexdigest()
+    return (factory, tech_digest, seeds.seed,
+            config.target_freq_mhz, config.with_scan)
+
+
+def prepare_design_cached(factory: NetlistFactory, tech: TechSetup,
+                          seeds: SeedBundle, config: FlowConfig) -> Design:
+    """Memoized :func:`prepare_design` returning an isolated copy.
+
+    The cache stores the prepared design *pickled*; every call —
+    including the one that populates an entry — gets its own unpickled
+    copy, so downstream stages (routing, MLS toggles, DFT inserts) on
+    one copy never leak into another selector's run.  Preparation is
+    deterministic in (factory, tech, seed, target freq, scan), which
+    is exactly the cache key.
+    """
+    key = _prepare_cache_key(factory, tech, seeds, config)
+    if key not in _PREPARE_CACHE:
+        _PREPARE_CACHE[key] = dumps_snapshot(
+            prepare_design(factory, tech, seeds, config))
+    return loads_snapshot(_PREPARE_CACHE[key])
+
+
+def clear_prepare_cache() -> None:
+    _PREPARE_CACHE.clear()
+
+
 def select_nets(design: Design, router: GlobalRouter, baseline,
                 report: TimingReport, seeds: SeedBundle,
                 config: FlowConfig) -> tuple[set[str], float, object]:
@@ -144,7 +196,8 @@ def select_nets(design: Design, router: GlobalRouter, baseline,
     elif config.selector == "sota":
         nets = sota_select(design, baseline)
     elif config.selector == "oracle":
-        nets = oracle_select(design, router, baseline)
+        nets = oracle_select(design, router, baseline,
+                             parallel=config.parallel)
     elif config.selector == "random":
         rng = seeds.fresh("random-selector")
         pool = [n.name for n in candidate_nets(design)]
@@ -154,16 +207,24 @@ def select_nets(design: Design, router: GlobalRouter, baseline,
     else:  # gnn
         dataset = build_dataset(design, router, baseline, report,
                                 num_paths=config.num_paths,
-                                num_labeled=config.num_labeled)
+                                num_labeled=config.num_labeled,
+                                parallel=config.parallel)
         model = train_gnn_mls(dataset, seeds, config.train)
         nets = decide_mls_nets(model, threshold=config.decision_threshold)
     return nets, time.perf_counter() - start, model
 
 
 def run_flow(factory: NetlistFactory, tech: TechSetup,
-             seeds: SeedBundle, config: FlowConfig) -> FlowReport:
-    """Run the complete flow for one (design, selector) combination."""
-    design = prepare_design(factory, tech, seeds, config)
+             seeds: SeedBundle, config: FlowConfig,
+             design: Design | None = None) -> FlowReport:
+    """Run the complete flow for one (design, selector) combination.
+
+    Pass a pre-built *design* (e.g. from :func:`prepare_design_cached`)
+    to skip the partition/place/buffer stages; it must have been
+    prepared with the same factory/tech/seeds/config.
+    """
+    if design is None:
+        design = prepare_design(factory, tech, seeds, config)
 
     router, baseline = route_with_mls(design, set(), config.route)
     base_report = run_sta(design)
@@ -201,7 +262,8 @@ def run_flow(factory: NetlistFactory, tech: TechSetup,
         sim = die_test_fault_sim(design, seeds.fresh("die-test"),
                                  patterns=config.dft_patterns,
                                  with_dft=True,
-                                 max_faults=config.dft_max_faults)
+                                 max_faults=config.dft_max_faults,
+                                 parallel=config.parallel)
         coverage = sim.coverage_pct
         total = sim.total_faults
         detected = sim.detected_total

@@ -30,6 +30,7 @@ from repro.netlist.cell import Instance
 from repro.netlist.netlist import Netlist
 from repro.dft.faults import Fault, FaultUniverse, SA0, SA1
 from repro.dft.logic3 import eval_gate
+from repro.parallel import ParallelConfig, snapshot_map
 
 _ALL = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
 
@@ -180,19 +181,39 @@ def _rand_words(rng: np.random.Generator, words: int) -> np.ndarray:
         ^ (rng.integers(0, 2, size=words, dtype=np.uint64) << np.uint64(63))
 
 
+def _detect_chunk(state, indices: list[int]) -> list[bool]:
+    """Worker: detect one chunk of faults against the snapshot view.
+
+    Per-fault detection only reads the good-machine view (faulty
+    values live in fault-local dicts), so any fault partition merges
+    back to exactly the serial detection set.
+    """
+    netlist, view, faults = state
+    zero = np.zeros(view.words, dtype=np.uint64)
+    obs_set = set(view.observe_nets)
+    return [_detect_one(netlist, view, faults[i], obs_set, zero)
+            for i in indices]
+
+
 def simulate_faults(netlist: Netlist, universe: FaultUniverse,
                     rng: np.random.Generator,
                     patterns: int = 192,
                     cut_nets: set[str] | None = None,
                     pinned_ports: dict[str, int] | None = None,
                     extra_observe: set[str] | None = None,
-                    max_faults: int | None = None
+                    max_faults: int | None = None,
+                    parallel: ParallelConfig | None = None
                     ) -> FaultSimResult:
     """Simulate the collapsed universe under *patterns* random vectors.
 
     ``max_faults`` caps the simulated set by deterministic stride
     sampling (fault-sampled coverage, the standard practice for large
     designs); reported coverage then extrapolates from the sample.
+
+    With a multi-worker *parallel* config the fault list is chunked
+    over a process pool.  The scan view (and hence every *rng* draw)
+    is still built in this process, so the caller's generator advances
+    exactly as in a serial run and results are bit-identical.
     """
     if patterns < 64 or patterns % 64:
         raise DFTError("patterns must be a positive multiple of 64")
@@ -207,12 +228,18 @@ def simulate_faults(netlist: Netlist, universe: FaultUniverse,
         stride = -(-len(faults) // max_faults)     # ceil division
         faults = faults[::stride]
 
-    detected = 0
-    zero = np.zeros(words, dtype=np.uint64)
-    obs_set = set(view.observe_nets)
-    for fault in faults:
-        if _detect_one(netlist, view, fault, obs_set, zero):
-            detected += 1
+    if parallel is not None and parallel.should_parallelize(len(faults)):
+        hits = snapshot_map(_detect_chunk, range(len(faults)),
+                            snapshot=(netlist, view, faults),
+                            config=parallel)
+        detected = sum(1 for hit in hits if hit)
+    else:
+        detected = 0
+        zero = np.zeros(words, dtype=np.uint64)
+        obs_set = set(view.observe_nets)
+        for fault in faults:
+            if _detect_one(netlist, view, fault, obs_set, zero):
+                detected += 1
     return FaultSimResult(
         total_faults=universe.total,
         simulated_faults=len(faults),

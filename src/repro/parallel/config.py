@@ -1,0 +1,71 @@
+"""Knobs for the process-pool engine."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How (and whether) to fan a hot loop out over worker processes.
+
+    ``workers=1`` (the default) disables the pool entirely: callers
+    run their original serial loop, bit-identical to pre-parallel
+    behavior.  Small workloads also stay serial — below ``min_items``
+    the pool's spawn + snapshot cost cannot amortize.
+
+    ``chunk_size=None`` auto-sizes chunks so each worker sees a few
+    waves of work (load balancing without per-item dispatch overhead).
+    """
+
+    workers: int = 1
+    chunk_size: int | None = None
+    #: Serial fallback: workloads smaller than this never fan out.
+    min_items: int = 64
+    #: multiprocessing start method; None = platform default (fork on
+    #: Linux, which makes snapshot shipping nearly free).
+    start_method: str | None = None
+    #: Target number of chunks per worker when auto-sizing.
+    waves: int = 4
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.min_items < 0:
+            raise ValueError(f"min_items must be >= 0, got {self.min_items}")
+        if self.waves < 1:
+            raise ValueError(f"waves must be >= 1, got {self.waves}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.workers > 1
+
+    def should_parallelize(self, n_items: int) -> bool:
+        """True when *n_items* is worth shipping to a pool."""
+        return self.enabled and n_items >= max(self.min_items, 2)
+
+    def resolve_chunk_size(self, n_items: int) -> int:
+        """Explicit chunk size, or ~``waves`` chunks per worker."""
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if n_items <= 0:
+            return 1
+        return max(1, _ceil_div(n_items, self.workers * self.waves))
+
+    @classmethod
+    def auto(cls, **overrides) -> "ParallelConfig":
+        """All available cores (``min 1``), other knobs default."""
+        workers = overrides.pop("workers", None)
+        if workers is None:
+            try:
+                workers = len(os.sched_getaffinity(0))
+            except (AttributeError, OSError):  # pragma: no cover - non-Linux
+                workers = os.cpu_count() or 1
+        return cls(workers=max(1, workers), **overrides)

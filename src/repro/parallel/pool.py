@@ -1,0 +1,151 @@
+"""Chunked process-pool map over a shared pickled snapshot.
+
+The pattern every wired hot loop uses:
+
+1. the caller pickles one *snapshot* of the heavy shared state (the
+   design, router, routing result, scan view...) with
+   :func:`dumps_snapshot`;
+2. each worker process unpickles it exactly once, at pool startup;
+3. tasks are lightweight chunks of items (net names, fault indices);
+   the worker function receives ``(state, chunk)`` and returns one
+   result per item;
+4. chunk results are concatenated in submission order, so the merged
+   output is independent of worker scheduling.
+
+Worker functions must be module-level (picklable by reference) and
+deterministic given the snapshot.  If the pool cannot be created at
+all (sandboxed /dev/shm, fork bans...), the map silently degrades to
+an in-process serial run over the *original* snapshot object — the
+results are identical by the determinism contract.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import sys
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.parallel.config import ParallelConfig
+
+T = TypeVar("T")
+
+#: The netlist's pin<->net<->instance graph recurses deeply; pickle
+#: needs a raised interpreter recursion limit.  Escalate in steps so
+#: small designs don't pay a huge C-stack reservation.
+_RECURSION_LIMITS = (50_000, 200_000, 1_000_000)
+
+#: Per-process snapshot installed by the pool initializer.
+_WORKER_STATE: Any = None
+
+#: Fork fast-path: the parent parks the snapshot here just before the
+#: pool forks, so children inherit it copy-on-write and skip the
+#: pickle/unpickle round-trip entirely.  Spawn/forkserver contexts
+#: cannot inherit and use the pickled payload instead.
+_FORK_SNAPSHOT: Any = None
+
+
+def chunked(items: Sequence[T], size: int) -> list[list[T]]:
+    """Split *items* into consecutive chunks of at most *size*."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    seq = list(items)
+    return [seq[i:i + size] for i in range(0, len(seq), size)]
+
+
+def _with_raised_recursion(fn: Callable[[], T]) -> T:
+    old = sys.getrecursionlimit()
+    try:
+        for limit in _RECURSION_LIMITS:
+            sys.setrecursionlimit(max(old, limit))
+            try:
+                return fn()
+            except RecursionError:
+                if limit == _RECURSION_LIMITS[-1]:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+    finally:
+        sys.setrecursionlimit(old)
+
+
+def dumps_snapshot(obj: Any) -> bytes:
+    """Pickle *obj* tolerating the deep netlist object graph."""
+    return _with_raised_recursion(
+        lambda: pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def loads_snapshot(payload: bytes) -> Any:
+    """Inverse of :func:`dumps_snapshot`."""
+    return _with_raised_recursion(lambda: pickle.loads(payload))
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = loads_snapshot(payload)
+
+
+def _init_fork_worker() -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = _FORK_SNAPSHOT
+
+
+def _run_chunk(fn: Callable[[Any, list], list], chunk: list) -> list:
+    return fn(_WORKER_STATE, chunk)
+
+
+def _serial_run(fn: Callable[[Any, list], list], state: Any,
+                chunks: list[list]) -> list:
+    out: list = []
+    for chunk in chunks:
+        out.extend(fn(state, chunk))
+    return out
+
+
+def snapshot_map(fn: Callable[[Any, list], list], items: Iterable,
+                 snapshot: Any, config: ParallelConfig) -> list:
+    """Map ``fn(state, chunk) -> [result per item]`` over *items*.
+
+    Results are returned one-per-item in input order regardless of
+    worker count.  ``state`` is *snapshot* itself in the serial path
+    and an unpickled copy inside each worker otherwise, so ``fn`` may
+    freely perform restore-style mutations (e.g. congestion-grid
+    probes) without corrupting the caller's objects.
+    """
+    work = list(items)
+    if not work:
+        return []
+    chunks = chunked(work, config.resolve_chunk_size(len(work)))
+    if not config.should_parallelize(len(work)):
+        return _serial_run(fn, snapshot, chunks)
+    ctx = mp.get_context(config.start_method)   # bad method -> ValueError
+    global _FORK_SNAPSHOT
+    forked = ctx.get_start_method() == "fork"
+    if forked:
+        init, initargs = _init_fork_worker, ()
+    else:
+        init, initargs = _init_worker, (dumps_snapshot(snapshot),)
+    try:
+        if forked:
+            _FORK_SNAPSHOT = snapshot
+        with ProcessPoolExecutor(max_workers=config.workers,
+                                 mp_context=ctx,
+                                 initializer=init,
+                                 initargs=initargs) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk)
+                       for chunk in chunks]
+            out: list = []
+            for future in futures:
+                out.extend(future.result())
+            return out
+    except (BrokenExecutor, OSError) as exc:
+        # Pool-level failure (sandbox, resource limits, dead workers):
+        # degrade to serial.  Exceptions raised *inside* fn are not of
+        # these types and propagate to the caller.
+        warnings.warn(f"process pool unavailable ({exc!r}); "
+                      f"running {len(work)} items serially",
+                      RuntimeWarning, stacklevel=2)
+        return _serial_run(fn, snapshot, chunks)
+    finally:
+        _FORK_SNAPSHOT = None

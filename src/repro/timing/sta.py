@@ -59,8 +59,15 @@ class TimingReport:
         return out
 
     def effective_freq_mhz(self) -> float:
-        """Highest frequency the design would close at: 1/(T - WNS)."""
+        """Highest frequency the design would close at: 1/(T - WNS).
+
+        With a non-positive effective period (a degenerate zero/negative
+        clock constraint and no violations) there is no finite closing
+        frequency; report +inf instead of dividing by zero.
+        """
         period = self.clock_period_ps - self.wns_ps
+        if period <= 0.0:
+            return _POS_INF
         return 1e6 / period
 
     def slack_of(self, pin_full_name: str) -> float:

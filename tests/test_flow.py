@@ -37,6 +37,10 @@ class TestFlowConfig:
         with pytest.raises(FlowError, match="needs with_scan"):
             FlowConfig(dft_strategy="net-based", with_scan=False)
 
+    def test_unknown_dft_strategy(self):
+        with pytest.raises(FlowError, match="unknown DFT strategy"):
+            FlowConfig(dft_strategy="bogus", with_scan=True)
+
 
 class TestRunFlow:
     @pytest.fixture(scope="class")

@@ -178,3 +178,57 @@ class TestWhatIf:
         for net in list(d.netlist.signal_nets())[::17][:30]:
             delta = net_whatif_delta(d, router, routing, net)
             assert delta.best_delta_ps() <= delta.worst_delta_ps() + 1e-9
+
+    def test_whatif_matches_full_sta_reroute(self, fresh_small_design):
+        """Property: for a sampled net, the what-if delta equals the
+        arrival-time change measured by a from-scratch STA after an
+        actual reroute.  Commit the off-route first so the probe's
+        baseline coincides with the committed tree, then toggle MLS on
+        and difference the two reports per sink."""
+        from repro.mls.oracle import candidate_nets
+        from repro.route import GlobalRouter
+        from repro.rng import stream
+        d = fresh_small_design
+        router = GlobalRouter(d)
+        routing = router.route_all()
+        pool = [n for n in candidate_nets(d)
+                if n.driver is not None and n.driver.owner is not None]
+        rng = stream("whatif-prop", TEST_SEED)
+        for idx in rng.choice(len(pool), size=5, replace=False):
+            net = pool[int(idx)]
+            router.reroute_net(routing, net, mls=False)
+            off = run_sta(d)
+            delta = net_whatif_delta(d, router, routing, net)
+            router.reroute_net(routing, net, mls=True)
+            on = run_sta(d)
+            for sink in delta.delta_sink_ps:
+                a_off = off.arrival[off.graph.pin_index[sink]]
+                a_on = on.arrival[on.graph.pin_index[sink]]
+                if math.isinf(a_off) or math.isinf(a_on):
+                    continue    # sink unreachable from any source
+                assert a_on - a_off == pytest.approx(
+                    delta.path_delta_ps(sink), abs=1e-6)
+            router.reroute_net(routing, net, mls=False)
+
+
+class TestEffectiveFreq:
+    def _report(self, period_ps: float, slack: dict[str, float]):
+        from repro.timing.sta import TimingReport
+        return TimingReport(clock_period_ps=period_ps, graph=None,
+                            arrival=[], required=[],
+                            endpoint_slack=slack, worst_pred=[])
+
+    def test_normal_period(self):
+        assert self._report(1000.0, {"a": 50.0}).effective_freq_mhz() \
+            == pytest.approx(1000.0)
+
+    def test_wns_stretches_period(self):
+        assert self._report(1000.0, {"a": -250.0}).effective_freq_mhz() \
+            == pytest.approx(800.0)
+
+    def test_zero_period_is_inf_not_crash(self):
+        # Regression: 1e6 / (0 - 0) used to raise ZeroDivisionError.
+        assert self._report(0.0, {}).effective_freq_mhz() == math.inf
+
+    def test_negative_period_is_inf(self):
+        assert self._report(-5.0, {}).effective_freq_mhz() == math.inf
