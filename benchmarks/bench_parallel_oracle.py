@@ -13,26 +13,18 @@ loop and the honest record shows that instead of a faked number.
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
 from repro.core.flow import prepare_design_cached
 from repro.harness.designs import get_benchmark
 from repro.mls.oracle import oracle_labels
-from repro.parallel import ParallelConfig
+from repro.parallel import ParallelConfig, usable_cores
 from repro.core.flow import FlowConfig
 from repro.route import GlobalRouter
 
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_parallel.json"
 WORKERS = 4
-
-
-def _usable_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:   # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def test_parallel_oracle_speedup(benchmark, emit):
@@ -60,7 +52,7 @@ def test_parallel_oracle_speedup(benchmark, emit):
 
     identical = serial == fanout
     speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
-    cores = _usable_cores()
+    cores = usable_cores()
     record = {
         "design": spec.paper_name,
         "nets": len(serial),

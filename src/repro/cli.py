@@ -49,7 +49,8 @@ def _positive_int(text: str) -> int:
 def _add_parallel(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=_positive_int, default=1,
                         help="worker processes for the what-if oracle, "
-                             "dataset build and fault simulation "
+                             "dataset build, fault simulation and "
+                             "wavefront global routing "
                              "(1 = serial; results are identical)")
     parser.add_argument("--chunk-size", type=_positive_int, default=None,
                         help="items per worker task (default: auto)")

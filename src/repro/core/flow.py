@@ -65,9 +65,10 @@ class FlowConfig:
     gnn_refine_iters: int = 2
     pdn: bool = True
     activity: float = 0.15
-    #: Worker fan-out for the what-if oracle, the dataset build and
-    #: the die-test fault simulation.  The default (workers=1) runs
-    #: every stage serially, bit-identical to the parallel paths.
+    #: Worker fan-out for the what-if oracle, the dataset build, the
+    #: die-test fault simulation and wavefront global routing.  The
+    #: default (workers=1) runs every stage serially, bit-identical to
+    #: the parallel paths.
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def __post_init__(self) -> None:
@@ -226,13 +227,15 @@ def run_flow(factory: NetlistFactory, tech: TechSetup,
     if design is None:
         design = prepare_design(factory, tech, seeds, config)
 
-    router, baseline = route_with_mls(design, set(), config.route)
+    router, baseline = route_with_mls(design, set(), config.route,
+                                      parallel=config.parallel)
     base_report = run_sta(design)
 
     requested, runtime_s, model = select_nets(
         design, router, baseline, base_report, seeds, config)
 
-    router, routing = route_with_mls(design, requested, config.route)
+    router, routing = route_with_mls(design, requested, config.route,
+                                     parallel=config.parallel)
     final_report = run_sta(design)
 
     if config.selector == "gnn" and model is not None:
@@ -250,7 +253,8 @@ def run_flow(factory: NetlistFactory, tech: TechSetup,
                 break
             requested |= new
             router, routing = route_with_mls(design, requested,
-                                             config.route)
+                                             config.route,
+                                             parallel=config.parallel)
             final_report = run_sta(design)
         runtime_s += time.perf_counter() - start
 

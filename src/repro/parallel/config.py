@@ -10,6 +10,19 @@ def _ceil_div(a: int, b: int) -> int:
     return -(-a // b)
 
 
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware).
+
+    Benchmarks use this to gate speedup assertions — a 1-core
+    container cannot beat its own serial loop, and the honest record
+    should show that rather than a faked number.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 @dataclass(frozen=True)
 class ParallelConfig:
     """How (and whether) to fan a hot loop out over worker processes.
@@ -64,8 +77,5 @@ class ParallelConfig:
         """All available cores (``min 1``), other knobs default."""
         workers = overrides.pop("workers", None)
         if workers is None:
-            try:
-                workers = len(os.sched_getaffinity(0))
-            except (AttributeError, OSError):  # pragma: no cover - non-Linux
-                workers = os.cpu_count() or 1
+            workers = usable_cores()
         return cls(workers=max(1, workers), **overrides)

@@ -23,9 +23,11 @@ from dataclasses import dataclass, field
 from repro.design import Design
 from repro.errors import RoutingError
 from repro.netlist.net import Net
-from repro.route.grid import CongestionGrid
+from repro.parallel import ParallelConfig, SnapshotPool
+from repro.route.grid import CongestionGrid, UsageDelta
 from repro.route.rc import NetRC, extract_rc
-from repro.route.steiner import build_route_points, l_path_gcells, mst_parents
+from repro.route.steiner import (build_route_points, footprint_gcells,
+                                 l_path_gcells, mst_parents)
 from repro.route.tree import RouteEdge, RouteTree
 
 import numpy as np
@@ -100,6 +102,38 @@ class RoutingResult:
         return out
 
 
+def _route_wave_chunk(state, grid_state,
+                      names: list[str]) -> list[tuple[str, list]]:
+    """Worker: route one chunk of a wave against the wave-boundary grid.
+
+    ``grid_state`` is the caller's grid at the wave boundary; loading
+    it first makes the worker's view exact regardless of which waves
+    this process served before.  Each net then routes with
+    ``commit=True`` so later edges of the *same* net see earlier
+    edges' usage exactly as the serial router does, and releases its
+    usage afterwards — every net of the wave thus observes the
+    pristine wave-boundary grid (their footprints are disjoint, making
+    that view identical to the serial schedule's).  Usage values are
+    integer-valued, so the add/release round-trip restores the float32
+    arrays bit-exactly; the in-process serial fallback of
+    :class:`~repro.parallel.pool.SnapshotPool`, which runs against the
+    caller's live router, relies on this restore.
+
+    Only edges travel back: they are flat dataclasses, while nodes
+    reference :class:`~repro.netlist.net.Pin` objects whose graph must
+    not be re-pickled per result (the caller rebuilds nodes).
+    """
+    router, mls_names = state
+    router.grid.load_state(grid_state)
+    out = []
+    for name in names:
+        net = router.design.netlist.net(name)
+        tree = router._route_net(net, mls=name in mls_names, commit=True)
+        router._apply_tree_usage(tree, -1.0)
+        out.append((name, tree.edges))
+    return out
+
+
 def desired_pair(length_um: float, n_pairs: int,
                  thresholds: tuple[float, ...]) -> int:
     """Length-based preferred layer pair (0 = lowest metals)."""
@@ -125,24 +159,150 @@ class GlobalRouter:
 
     # -- public API -----------------------------------------------------------
 
-    def route_all(self, mls_nets: set[str] | frozenset = frozenset()
-                  ) -> RoutingResult:
-        """Route every signal net; attach the result to the design."""
+    def route_all(self, mls_nets: set[str] | frozenset = frozenset(),
+                  parallel: ParallelConfig | None = None) -> RoutingResult:
+        """Route every signal net; attach the result to the design.
+
+        With a multi-worker *parallel* config the nets are routed in
+        wavefront order (see :meth:`_route_all_wavefront`); the trees,
+        parasitics, congestion arrays and :meth:`RoutingResult.stats`
+        are bit-identical to the serial long-nets-first schedule at any
+        worker count.
+        """
         result = RoutingResult(self.grid, self.cfg)
         nets = self.design.netlist.signal_nets()
         # Long nets first: they claim upper layers before congestion.
-        def est_len(net: Net) -> float:
-            x0, y0, x1, y1 = self.placement.net_bbox(net)
-            return (x1 - x0) + (y1 - y0)
-        for net in sorted(nets, key=lambda n: (-est_len(n), n.name)):
-            tree = self._route_net(net, mls=net.name in mls_nets,
-                                   commit=True)
-            result.trees[net.name] = tree
-            result.rc[net.name] = extract_rc(
-                tree, self.design.tech.stacks, self.design.tech.f2f)
+        ordered = sorted(nets, key=lambda n: (-self._est_len(n), n.name))
+        if parallel is not None and parallel.should_parallelize(len(ordered)):
+            self._route_all_wavefront(result, ordered,
+                                      frozenset(mls_nets), parallel)
+        else:
+            for net in ordered:
+                self._commit_net(result, net, mls=net.name in mls_nets)
         self.design.routing = result
         self.design.mls_nets = set(mls_nets)
         return result
+
+    def _est_len(self, net: Net) -> float:
+        x0, y0, x1, y1 = self.placement.net_bbox(net)
+        return (x1 - x0) + (y1 - y0)
+
+    def _commit_net(self, result: RoutingResult, net: Net,
+                    mls: bool) -> None:
+        """Serial inner loop: route one net and record tree + RC."""
+        tree = self._route_net(net, mls=mls, commit=True)
+        result.trees[net.name] = tree
+        result.rc[net.name] = extract_rc(
+            tree, self.design.tech.stacks, self.design.tech.f2f)
+
+    # -- wavefront scheduling ------------------------------------------------
+
+    def _route_all_wavefront(self, result: RoutingResult,
+                             ordered: list[Net], mls_nets: frozenset,
+                             parallel: ParallelConfig) -> None:
+        """Route *ordered* as a sequence of disjoint-footprint waves.
+
+        A wave is a maximal run of **consecutive** nets (in the serial
+        long-nets-first order) whose gcell footprints are pairwise
+        disjoint.  Within such a run, net *m*'s congestion queries only
+        touch its own footprint, which no earlier net of the run
+        writes — so routing every net of the wave against the grid
+        state at the wave boundary reproduces the serial result
+        exactly.  Waves route concurrently via
+        :func:`repro.parallel.snapshot_map` against a read-only
+        snapshot; usage and RC merge back in canonical (serial) net
+        order, keeping dict ordering, float bit patterns and
+        :meth:`RoutingResult.stats` identical to the serial router.
+
+        MLS-requested nets contend for the other tier's top pair and
+        its F2F pads — the shared resource every other MLS net also
+        wants — so they are never packed with other nets: each one
+        closes the current wave and routes serially at the boundary.
+
+        One :class:`~repro.parallel.pool.SnapshotPool` serves the whole
+        route: the heavy (router, mls set) snapshot ships to workers
+        once, and each wave forwards only the current congestion-grid
+        arrays, which workers load before routing their chunk.
+        """
+        footprints = {
+            net.name: self._net_footprint(net) for net in ordered}
+        with SnapshotPool((self, mls_nets), parallel) as pool:
+            index = 0
+            while index < len(ordered):
+                wave = self._pack_wave(ordered, index, mls_nets,
+                                       footprints)
+                index += len(wave)
+                if parallel.should_parallelize(len(wave)):
+                    self._route_wave(result, wave, pool)
+                else:
+                    # Wave too small to amortize the pool round-trip
+                    # (always the case for MLS singletons): serial at
+                    # the wave boundary.
+                    for net in wave:
+                        self._commit_net(result, net,
+                                         mls=net.name in mls_nets)
+
+    def _net_footprint(self, net: Net) -> frozenset:
+        """Gcells this net's routing may read or write (pre-routing)."""
+        points = build_route_points(net, self.placement)
+        xs = np.array([p[0] for p in points])
+        ys = np.array([p[1] for p in points])
+        parents = mst_parents(xs, ys)
+        return footprint_gcells(xs, ys, parents, self.grid.gcell,
+                                self.grid.nx, self.grid.ny)
+
+    @staticmethod
+    def _pack_wave(ordered: list[Net], start: int, mls_nets: frozenset,
+                   footprints: dict[str, frozenset]) -> list[Net]:
+        """Greedy maximal disjoint run of *ordered* beginning at *start*.
+
+        MLS candidates are unpackable: one at *start* forms a singleton
+        wave, one later stops the packing (serial fallback at the wave
+        boundary).
+        """
+        first = ordered[start]
+        wave = [first]
+        if first.name in mls_nets:
+            return wave
+        occupied = set(footprints[first.name])
+        for net in ordered[start + 1:]:
+            footprint = footprints[net.name]
+            if net.name in mls_nets or not occupied.isdisjoint(footprint):
+                break
+            wave.append(net)
+            occupied.update(footprint)
+        return wave
+
+    def _route_wave(self, result: RoutingResult, wave: list[Net],
+                    pool: SnapshotPool) -> None:
+        """Fan one wave out over the pool and merge in canonical order."""
+        rows = pool.map(_route_wave_chunk, [n.name for n in wave],
+                        extra=self.grid.export_state())
+        delta = UsageDelta()
+        for name, edges in rows:
+            tree = self._rebuild_tree(name, edges)
+            self._apply_tree_usage(tree, +1.0, sink=delta)
+            result.trees[name] = tree
+            result.rc[name] = extract_rc(
+                tree, self.design.tech.stacks, self.design.tech.f2f)
+        self.grid.apply_delta(delta)
+
+    def _rebuild_tree(self, net_name: str,
+                      edges: list[RouteEdge]) -> RouteTree:
+        """Reattach worker-routed edges to locally-built nodes.
+
+        Workers ship edges only — nodes hold :class:`Pin` references
+        whose object graph must stay the caller's.  Node construction
+        is deterministic in the placement, so worker and caller agree
+        on node indices.
+        """
+        net = self.design.netlist.net(net_name)
+        tree = RouteTree(net_name)
+        for x, y, tier, pin in build_route_points(net, self.placement):
+            tree.add_node(x, y, tier, pin)
+        for edge in edges:
+            tree.add_edge(edge)
+        return tree
 
     def reroute_net(self, result: RoutingResult, net: Net,
                     mls: bool) -> NetRC:
@@ -189,19 +349,28 @@ class GlobalRouter:
                 extract_rc(tree_on, stacks, f2f),
                 tree_on.num_shared_edges() > 0)
 
-    def _apply_tree_usage(self, tree: RouteTree, sign: float) -> None:
-        """Add (+1) or release (-1) a tree's grid resources."""
+    def _apply_tree_usage(self, tree: RouteTree, sign: float,
+                          sink: CongestionGrid | UsageDelta | None = None
+                          ) -> None:
+        """Add (+1) or release (-1) a tree's grid resources.
+
+        *sink* defaults to the live grid; the wavefront merge passes a
+        :class:`UsageDelta` instead to batch a whole wave's usage into
+        one commit.
+        """
+        if sink is None:
+            sink = self.grid
         for edge in tree.edges:
             pnode = tree.nodes[edge.parent]
             cnode = tree.nodes[edge.child]
             cells = l_path_gcells(pnode.x, pnode.y, cnode.x, cnode.y,
                                   self.grid.gcell, self.grid.nx, self.grid.ny)
-            self.grid.add_path(edge.tier, edge.pair, cells, sign)
+            sink.add_path(edge.tier, edge.pair, cells, sign)
             if edge.shared:
-                self.grid.add_f2f(*cells[0], sign)
-                self.grid.add_f2f(*cells[-1], sign)
+                sink.add_f2f(*cells[0], sign)
+                sink.add_f2f(*cells[-1], sign)
             elif edge.n_f2f:
-                self.grid.add_f2f(*cells[0], sign * float(edge.n_f2f))
+                sink.add_f2f(*cells[0], sign * float(edge.n_f2f))
 
     # -- internals ----------------------------------------------------------------
 
