@@ -1,0 +1,153 @@
+"""STA kernel benchmark — seed loop vs CSR vs incremental update.
+
+Times three ways of answering "what is the slack now?" on the routed
+no-MLS MAERI fabrics and writes ``BENCH_sta.json`` at the repo root:
+
+* ``seed``        — the pre-CSR behavior: rebuild the timing graph and
+                    run the reference Python propagation loop;
+* ``serial``      — the reference loop on a prebuilt graph (isolates
+                    the propagation kernel);
+* ``csr``         — the levelized ``np.maximum.at``/``np.minimum.at``
+                    scatter kernel on the same prebuilt graph;
+* ``incremental`` — :class:`IncrementalSta.update` after a single-net
+                    MLS reroute (the refine/oracle hot-loop shape).
+
+Every timed variant is also checked for **bit-identical** reports
+(arrival, required, endpoint slack, worst_pred) — the script exits
+non-zero on any divergence, which is what the CI smoke job gates on.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sta.py           # both sizes
+    PYTHONPATH=src python benchmarks/bench_sta.py --smoke   # 16PE, CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.flow import FlowConfig, prepare_design          # noqa: E402
+from repro.harness.designs import get_benchmark                 # noqa: E402
+from repro.mls import route_with_mls                            # noqa: E402
+from repro.mls.oracle import candidate_nets                     # noqa: E402
+from repro.timing import (IncrementalSta, build_timing_graph,   # noqa: E402
+                          run_sta)
+
+BENCH_JSON = REPO_ROOT / "BENCH_sta.json"
+
+#: Single-net reroute toggles timed per design in the incremental leg.
+INCR_TOGGLES = 6
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    """(best seconds, last result) over *repeats* calls."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _reports_identical(a, b) -> bool:
+    return (a.arrival == b.arrival and a.required == b.required
+            and a.worst_pred == b.worst_pred
+            and a.endpoint_slack == b.endpoint_slack
+            and list(a.endpoint_slack) == list(b.endpoint_slack))
+
+
+def bench_design(key: str, repeats: int) -> dict:
+    spec = get_benchmark(key)
+    config = FlowConfig(selector="none",
+                        target_freq_mhz=spec.target_freq_mhz)
+    design = prepare_design(spec.factory, spec.tech(), spec.seeds(),
+                            config)
+    router, routing = route_with_mls(design, set())
+    graph = build_timing_graph(design)
+    csr = graph.csr()           # build the CSR view outside the timers
+
+    t_seed, ref = _best_of(lambda: run_sta(design, kernel="serial"),
+                           repeats)
+    t_serial, serial = _best_of(
+        lambda: run_sta(design, graph=graph, kernel="serial"), repeats)
+    t_csr, vec = _best_of(
+        lambda: run_sta(design, graph=graph, kernel="csr"), repeats)
+    csr_ok = _reports_identical(vec, ref) and _reports_identical(serial,
+                                                                 ref)
+
+    inc = IncrementalSta(design, graph=graph)
+    incr_ok = _reports_identical(inc.report(), ref)
+    nets = [n for n in candidate_nets(design)
+            if routing.tree(n.name).wirelength() > 20][:INCR_TOGGLES]
+    t_incr_total = 0.0
+    for net in nets:
+        mls_on = net.name not in design.mls_nets
+        router.reroute_net(routing, net, mls=mls_on)
+        t0 = time.perf_counter()
+        rep = inc.update([net.name])
+        t_incr_total += time.perf_counter() - t0
+        incr_ok = incr_ok and _reports_identical(rep, run_sta(design))
+    t_incr = t_incr_total / max(1, len(nets))
+
+    return {
+        "design": spec.paper_name,
+        "pins": len(graph.pins),
+        "edges": int(csr.num_edges),
+        "endpoints": len(ref.endpoint_slack),
+        "seed_full_sta_ms": round(t_seed * 1e3, 3),
+        "serial_kernel_ms": round(t_serial * 1e3, 3),
+        "csr_kernel_ms": round(t_csr * 1e3, 3),
+        "incremental_update_ms": round(t_incr * 1e3, 3),
+        "incremental_toggles": len(nets),
+        "speedup_csr_vs_seed": round(t_seed / t_csr, 2),
+        "speedup_csr_vs_serial_kernel": round(t_serial / t_csr, 2),
+        "speedup_incremental_vs_seed": round(t_seed / t_incr, 2),
+        "csr_bit_identical": csr_ok,
+        "incremental_bit_identical": incr_ok,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="16PE only, fewer repeats (CI divergence "
+                             "gate)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per variant (best-of)")
+    args = parser.parse_args(argv)
+
+    keys = ["maeri16_hetero"] if args.smoke \
+        else ["maeri16_hetero", "maeri128_hetero"]
+    repeats = args.repeats or (3 if args.smoke else 5)
+
+    rows = []
+    for key in keys:
+        print(f"benchmarking {key} ...", flush=True)
+        row = bench_design(key, repeats)
+        rows.append(row)
+        for field, value in row.items():
+            print(f"  {field:<32}{value}")
+
+    record = {"repeats": repeats, "smoke": args.smoke, "designs": rows}
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {BENCH_JSON}")
+
+    ok = all(r["csr_bit_identical"] and r["incremental_bit_identical"]
+             for r in rows)
+    if not ok:
+        print("FAIL: kernel divergence — reports are not bit-identical",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -28,7 +29,7 @@ from repro.pdn.sizing import PdnSizingResult, size_pdn
 from repro.route.router import GlobalRouter, RouteConfig
 from repro.mls import oracle_select, route_with_mls, sota_select
 from repro.mls.oracle import candidate_nets
-from repro.timing import run_sta
+from repro.timing import IncrementalSta, run_sta
 from repro.timing.sta import TimingReport
 from repro.rng import SeedBundle
 from repro.core.decide import decide_mls_nets
@@ -58,6 +59,10 @@ class FlowConfig:
     dft_max_faults: int = 30000
     train: TrainConfig = field(default_factory=TrainConfig)
     route: RouteConfig = field(default_factory=RouteConfig)
+    #: Oracle selector criterion: False labels nets by their local
+    #: worst-sink delay delta (parallelizable); True measures the
+    #: exact design WNS/TNS movement per net via incremental STA.
+    oracle_exact_slack: bool = False
     decision_threshold: float = 0.5
     #: After routing the first GNN selection, re-extract the now-worst
     #: paths and re-infer, growing the set — covers nets that only
@@ -147,7 +152,13 @@ def prepare_design(factory: NetlistFactory, tech: TechSetup,
 
 
 #: prepare key -> pickled prepared design (see prepare_design_cached).
-_PREPARE_CACHE: dict[tuple, bytes] = {}
+#: Bounded LRU: long benchmark sweeps touch many (design, tech, seed)
+#: combinations and a pickled prepared design is tens of MB — keep
+#: only the most recently used few instead of every design ever seen.
+_PREPARE_CACHE: OrderedDict[tuple, bytes] = OrderedDict()
+
+#: Maximum pickled designs retained in the prepare cache.
+PREPARE_CACHE_MAX_ENTRIES = 8
 
 
 def _prepare_cache_key(factory: NetlistFactory, tech: TechSetup,
@@ -176,9 +187,13 @@ def prepare_design_cached(factory: NetlistFactory, tech: TechSetup,
     is exactly the cache key.
     """
     key = _prepare_cache_key(factory, tech, seeds, config)
-    if key not in _PREPARE_CACHE:
+    if key in _PREPARE_CACHE:
+        _PREPARE_CACHE.move_to_end(key)
+    else:
         _PREPARE_CACHE[key] = dumps_snapshot(
             prepare_design(factory, tech, seeds, config))
+        while len(_PREPARE_CACHE) > PREPARE_CACHE_MAX_ENTRIES:
+            _PREPARE_CACHE.popitem(last=False)
     return loads_snapshot(_PREPARE_CACHE[key])
 
 
@@ -188,7 +203,9 @@ def clear_prepare_cache() -> None:
 
 def select_nets(design: Design, router: GlobalRouter, baseline,
                 report: TimingReport, seeds: SeedBundle,
-                config: FlowConfig) -> tuple[set[str], float, object]:
+                config: FlowConfig,
+                sta: IncrementalSta | None = None
+                ) -> tuple[set[str], float, object]:
     """Run the configured selector; returns (nets, runtime_s, model)."""
     start = time.perf_counter()
     model = None
@@ -198,7 +215,9 @@ def select_nets(design: Design, router: GlobalRouter, baseline,
         nets = sota_select(design, baseline)
     elif config.selector == "oracle":
         nets = oracle_select(design, router, baseline,
-                             parallel=config.parallel)
+                             parallel=config.parallel,
+                             exact_slack=config.oracle_exact_slack,
+                             sta=sta)
     elif config.selector == "random":
         rng = seeds.fresh("random-selector")
         pool = [n.name for n in candidate_nets(design)]
@@ -229,14 +248,18 @@ def run_flow(factory: NetlistFactory, tech: TechSetup,
 
     router, baseline = route_with_mls(design, set(), config.route,
                                       parallel=config.parallel)
-    base_report = run_sta(design)
+    # The pin graph's structure is routing-invariant: build it once,
+    # then patch arc delays incrementally after every reroute instead
+    # of re-running full STA (the refine loop's former hot spot).
+    timing = IncrementalSta(design)
+    base_report = timing.report()
 
     requested, runtime_s, model = select_nets(
-        design, router, baseline, base_report, seeds, config)
+        design, router, baseline, base_report, seeds, config, sta=timing)
 
     router, routing = route_with_mls(design, requested, config.route,
                                      parallel=config.parallel)
-    final_report = run_sta(design)
+    final_report = timing.update_routing()
 
     if config.selector == "gnn" and model is not None:
         from repro.core.hypergraph import build_path_graph
@@ -255,13 +278,15 @@ def run_flow(factory: NetlistFactory, tech: TechSetup,
             router, routing = route_with_mls(design, requested,
                                              config.route,
                                              parallel=config.parallel)
-            final_report = run_sta(design)
+            final_report = timing.update_routing()
         runtime_s += time.perf_counter() - start
 
     coverage = total = detected = None
     if config.dft_strategy is not None:
         from repro.dft.mls_dft import apply_mls_dft, die_test_fault_sim
         apply_mls_dft(design, router, routing, config.dft_strategy)
+        # DFT edits the netlist structurally (muxes, observe flops,
+        # net splits) — outside the incremental contract, so rebuild.
         final_report = run_sta(design)
         sim = die_test_fault_sim(design, seeds.fresh("die-test"),
                                  patterns=config.dft_patterns,

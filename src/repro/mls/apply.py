@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.design import Design
 from repro.parallel import ParallelConfig
 from repro.route.router import GlobalRouter, RouteConfig, RoutingResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.timing.incremental import IncrementalSta
 
 
 def route_with_mls(design: Design, mls_nets: set[str],
@@ -31,13 +36,19 @@ def route_with_mls(design: Design, mls_nets: set[str],
 def apply_mls_incremental(design: Design, router: GlobalRouter,
                           result: RoutingResult,
                           add: set[str] = frozenset(),
-                          remove: set[str] = frozenset()) -> RoutingResult:
+                          remove: set[str] = frozenset(),
+                          sta: "IncrementalSta | None" = None
+                          ) -> RoutingResult:
     """Toggle MLS on individual nets of an existing routing.
 
     Cheaper than a full re-route; used by the targeted-routing stage
     for ECO-style adjustments and by Table I's single-net experiment.
     Nets are processed longest-first so trunk edges claim shared
     resources in the same priority order as the full route.
+
+    Pass an :class:`~repro.timing.incremental.IncrementalSta` as *sta*
+    to patch its arc delays with exactly the toggled nets afterwards —
+    the ECO-loop pairing that keeps timing current without a full STA.
     """
     netlist = design.netlist
     both = add & remove
@@ -53,4 +64,6 @@ def apply_mls_incremental(design: Design, router: GlobalRouter,
         router.reroute_net(result, netlist.net(name), mls=False)
     for name in sorted(add, key=lambda n: (-hpwl(n), n)):
         router.reroute_net(result, netlist.net(name), mls=True)
+    if sta is not None:
+        sta.update(add | remove)
     return result

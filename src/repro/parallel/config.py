@@ -2,8 +2,15 @@
 
 from __future__ import annotations
 
+import logging
 import os
 from dataclasses import dataclass
+
+logger = logging.getLogger(__name__)
+
+#: Set once the single-core degradation notice has been emitted, so a
+#: sweep with thousands of should_parallelize calls logs it one time.
+_DEGRADE_LOGGED = False
 
 
 def _ceil_div(a: int, b: int) -> int:
@@ -61,8 +68,25 @@ class ParallelConfig:
         return self.workers > 1
 
     def should_parallelize(self, n_items: int) -> bool:
-        """True when *n_items* is worth shipping to a pool."""
-        return self.enabled and n_items >= max(self.min_items, 2)
+        """True when *n_items* is worth shipping to a pool.
+
+        On a single-core host (affinity-aware) a multi-worker config
+        degrades to the serial loop: extra processes would only time-
+        slice one CPU while paying spawn + snapshot costs.  The
+        degradation is logged once per process so sweeps stay quiet.
+        """
+        if not (self.enabled and n_items >= max(self.min_items, 2)):
+            return False
+        if usable_cores() <= 1:
+            global _DEGRADE_LOGGED
+            if not _DEGRADE_LOGGED:
+                _DEGRADE_LOGGED = True
+                logger.warning(
+                    "ParallelConfig(workers=%d) on a single-core host: "
+                    "falling back to the serial loop (results are "
+                    "bit-identical either way)", self.workers)
+            return False
+        return True
 
     def resolve_chunk_size(self, n_items: int) -> int:
         """Explicit chunk size, or ~``waves`` chunks per worker."""

@@ -328,6 +328,25 @@ class GlobalRouter:
             return
         self._apply_tree_usage(tree, -1.0)
 
+    def restore_net(self, result: RoutingResult, net: Net,
+                    tree: "RouteTree", rc: NetRC) -> None:
+        """Re-commit a previously extracted (tree, rc) snapshot.
+
+        The exact inverse of a what-if :meth:`reroute_net`: re-routing
+        the net a second time would route against *today's* congestion
+        and may not reproduce the tree committed during the full
+        route, whereas re-applying the saved tree restores grid usage
+        bit-exactly (usage values are integer-valued).
+        """
+        self.unroute_net(result, net)
+        result.trees[net.name] = tree
+        result.rc[net.name] = rc
+        self._apply_tree_usage(tree, +1.0)
+        if tree.num_shared_edges() > 0:
+            self.design.mls_nets.add(net.name)
+        else:
+            self.design.mls_nets.discard(net.name)
+
     def probe_net(self, result: RoutingResult, net: Net
                   ) -> tuple[NetRC, NetRC, bool]:
         """What-if both MLS states of *net* WITHOUT changing any state.

@@ -17,13 +17,69 @@ enable pins are false paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.design import Design
 from repro.errors import TimingError
 from repro.netlist.net import Pin
 from repro.timing.delay import (cell_output_delay, port_drive_delay,
                                 setup_time)
+
+
+@dataclass
+class TimingCsr:
+    """Flat levelized edge arrays for vectorized STA.
+
+    Edges are stored in **serial order** — the exact order the
+    reference Python loop visits them (topological order of the source
+    pin, then fanout-list position) — so the edge index doubles as the
+    serial tie-break key for ``worst_pred`` reconstruction.
+
+    ``fwd_perm``/``fwd_starts`` group edges by the *destination* pin's
+    level for the forward (arrival) sweep; ``bwd_perm``/``bwd_starts``
+    group them by the *source* pin's level, highest first, for the
+    backward (required) sweep.  Because STA is a pure max/min semiring
+    over float64 (no order-dependent sums), per-level
+    ``np.maximum.at`` / ``np.minimum.at`` scatters reproduce the
+    serial loop bit-for-bit.
+    """
+
+    n: int                          # pin count
+    edge_src: np.ndarray            # int32 [E], serial edge order
+    edge_dst: np.ndarray            # int32 [E]
+    edge_delay: np.ndarray          # float64 [E], patched on reroute
+    #: Position of each edge inside fanout[src] / fanin[dst] — lets a
+    #: delay patch keep the list-of-lists graph consistent too.
+    edge_fout_pos: np.ndarray       # int32 [E]
+    edge_fin_pos: np.ndarray        # int32 [E]
+    level: np.ndarray               # int32 [n], longest-path depth
+    num_levels: int
+    fwd_perm: np.ndarray            # int32 [E] grouped by level[dst]
+    fwd_starts: np.ndarray          # int64 [num_levels + 1]
+    bwd_perm: np.ndarray            # int32 [E] grouped by -level[src]
+    bwd_starts: np.ndarray          # int64 [num_levels + 1]
+    src_idx: np.ndarray             # int32 [S] launch pins
+    src_launch: np.ndarray          # float64 [S]
+    ep_idx: np.ndarray              # int32 [P] endpoint pins
+    ep_setup: np.ndarray            # float64 [P]
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_src.shape[0])
+
+    def edge_lookup(self) -> dict[tuple[int, int], tuple[int, ...]]:
+        """(src, dst) -> serial edge ids (lazily built, then cached)."""
+        table = getattr(self, "_edge_lookup", None)
+        if table is None:
+            table = {}
+            for eid in range(self.num_edges):
+                key = (int(self.edge_src[eid]), int(self.edge_dst[eid]))
+                table.setdefault(key, []).append(eid)
+            table = {k: tuple(v) for k, v in table.items()}
+            self._edge_lookup = table
+        return table
 
 
 @dataclass
@@ -37,12 +93,91 @@ class TimingGraph:
     sources: list[tuple[int, float]]        # (idx, launch delay)
     endpoints: list[tuple[int, float]]      # (idx, setup requirement)
     topo: list[int]                        # topological pin order
+    _csr: TimingCsr | None = field(default=None, init=False, repr=False,
+                                   compare=False)
 
     def index_of(self, pin: Pin) -> int:
         try:
             return self.pin_index[pin.full_name]
         except KeyError:
             raise TimingError(f"pin {pin.full_name} not in graph") from None
+
+    def csr(self) -> TimingCsr:
+        """The levelized CSR view (built on first use, then cached).
+
+        The CSR arrays alias the graph's *current* arc delays; holders
+        that patch delays (:class:`repro.timing.incremental.
+        IncrementalSta`) keep both representations in sync.
+        """
+        if self._csr is None:
+            self._csr = _build_csr(self)
+        return self._csr
+
+    def invalidate_csr(self) -> None:
+        """Drop the cached CSR view (after out-of-band arc edits)."""
+        self._csr = None
+
+
+def _build_csr(graph: TimingGraph) -> TimingCsr:
+    """Flatten the list-of-lists graph into levelized numpy arrays."""
+    n = len(graph.pins)
+    num_edges = sum(len(out) for out in graph.fanout)
+
+    # Longest-path level per pin: every edge goes level[u] -> > level[u].
+    level = np.zeros(n, dtype=np.int32)
+    for u in graph.topo:
+        lu = level[u] + 1
+        for v, _ in graph.fanout[u]:
+            if level[v] < lu:
+                level[v] = lu
+
+    # fanin positions: the k-th (u -> v) arc in fanout[u] is also the
+    # k-th (u -> v) arc in fanin[v] (add_arc appends to both at once).
+    fin_pos_map: dict[tuple[int, int], list[int]] = {}
+    for v in range(n):
+        for pos, (u, _) in enumerate(graph.fanin[v]):
+            fin_pos_map.setdefault((u, v), []).append(pos)
+
+    edge_src = np.empty(num_edges, dtype=np.int32)
+    edge_dst = np.empty(num_edges, dtype=np.int32)
+    edge_delay = np.empty(num_edges, dtype=np.float64)
+    edge_fout_pos = np.empty(num_edges, dtype=np.int32)
+    edge_fin_pos = np.empty(num_edges, dtype=np.int32)
+    seen: dict[tuple[int, int], int] = {}
+    eid = 0
+    for u in graph.topo:
+        for pos, (v, delay) in enumerate(graph.fanout[u]):
+            edge_src[eid] = u
+            edge_dst[eid] = v
+            edge_delay[eid] = delay
+            edge_fout_pos[eid] = pos
+            k = seen.get((u, v), 0)
+            seen[(u, v)] = k + 1
+            edge_fin_pos[eid] = fin_pos_map[(u, v)][k]
+            eid += 1
+
+    num_levels = int(level.max()) + 1 if n else 1
+    lev_dst = level[edge_dst]
+    fwd_perm = np.argsort(lev_dst, kind="stable").astype(np.int32)
+    counts = np.bincount(lev_dst, minlength=num_levels)
+    fwd_starts = np.concatenate(([0], np.cumsum(counts)))
+    lev_src = level[edge_src]
+    bwd_perm = np.argsort(-lev_src, kind="stable").astype(np.int32)
+    bcounts = np.bincount((num_levels - 1) - lev_src, minlength=num_levels)
+    bwd_starts = np.concatenate(([0], np.cumsum(bcounts)))
+
+    src_idx = np.array([i for i, _ in graph.sources], dtype=np.int32)
+    src_launch = np.array([d for _, d in graph.sources], dtype=np.float64)
+    ep_idx = np.array([i for i, _ in graph.endpoints], dtype=np.int32)
+    ep_setup = np.array([s for _, s in graph.endpoints], dtype=np.float64)
+    return TimingCsr(n=n, edge_src=edge_src, edge_dst=edge_dst,
+                     edge_delay=edge_delay, edge_fout_pos=edge_fout_pos,
+                     edge_fin_pos=edge_fin_pos, level=level,
+                     num_levels=num_levels, fwd_perm=fwd_perm,
+                     fwd_starts=fwd_starts, bwd_perm=bwd_perm,
+                     bwd_starts=bwd_starts, src_idx=src_idx,
+                     src_launch=src_launch, ep_idx=ep_idx,
+                     ep_setup=ep_setup)
 
 
 def _is_false_path_pin(pin: Pin) -> bool:

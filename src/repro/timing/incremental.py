@@ -1,24 +1,50 @@
-"""Per-net what-if analysis: the timing delta of toggling MLS.
+"""Incremental timing: per-net what-if deltas and exact delta STA.
 
-Equation (1) of the paper decomposes a path's slack into the no-MLS
-slack plus per-net deltas; this module computes those deltas exactly
-for our delay model: re-route the net both ways, difference the driver
-cell delay (load change) and each sink's Elmore delay, then restore
-the original routing.  The oracle and the GNN's labels are built on
-this primitive — it replaces the "iterative disconnection, rerouting
-and slack recalculation" the paper calls computationally prohibitive,
-at the scale of one net at a time.
+Two engines live here:
+
+* :func:`net_whatif_delta` — equation (1) of the paper: the slack
+  delta of toggling MLS on one net, computed by probing both routings
+  and differencing the driver cell delay (load change) and each
+  sink's Elmore delay.  The oracle and the GNN's labels are built on
+  this primitive.
+
+* :class:`IncrementalSta` — an **exact** incremental STA over the
+  levelized CSR timing graph.  ``update(changed_nets)`` patches only
+  the arc delays the reroutes actually touched (net arcs + the driver
+  cell's load-dependent arcs + load-dependent launch delays), seeds a
+  frontier from those pins, and re-propagates forward/backward only
+  while values change.  The resulting :class:`TimingReport` is equal
+  — arrivals, requireds, endpoint slacks and ``worst_pred``
+  tie-breaks — to a from-scratch :func:`repro.timing.sta.run_sta`.
+
+  The incremental contract covers *routing* changes only: the pin
+  graph's structure is routing-invariant, so reroutes are pure delay
+  patches.  **Structural netlist edits** (buffer insertion, scan
+  stitching, DFT net splitting, level shifters) add or remove pins
+  and arcs and require a fresh :class:`IncrementalSta`; ``update``
+  detects unknown pins/arcs and raises :class:`TimingError` rather
+  than returning a stale report.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.design import Design
 from repro.errors import TimingError
 from repro.netlist.net import Net
 from repro.route.router import GlobalRouter, RoutingResult
-from repro.timing.delay import PORT_DRIVE_RES
+from repro.timing.delay import (PORT_DRIVE_RES, cell_output_delay,
+                                port_drive_delay)
+from repro.timing.graph import (TimingGraph, _is_false_path_pin,
+                                build_timing_graph)
+from repro.timing.sta import TimingReport, _propagate_csr
+
+_NEG_INF = -math.inf
+_POS_INF = math.inf
 
 
 @dataclass
@@ -77,3 +103,291 @@ def net_whatif_delta(design: Design, router: GlobalRouter,
     return WhatIfDelta(net_name=net.name, applied=applied,
                        delta_driver_ps=delta_driver,
                        delta_sink_ps=delta_sinks)
+
+
+class IncrementalSta:
+    """Exact incremental STA over a routing-invariant pin graph.
+
+    Build once per (netlist structure, clock period); call
+    :meth:`update` after targeted reroutes with the affected net
+    names, or :meth:`update_routing` after a full re-route (it diffs
+    every net's parasitics and patches only real changes).  Both
+    return a report equal to a from-scratch :func:`run_sta`.
+
+    The engine keeps the shared :class:`TimingGraph` (list-of-lists
+    *and* CSR views) consistent with every patch, so the graph can
+    still be handed to :func:`run_sta` directly at any time.
+    """
+
+    def __init__(self, design: Design, graph: TimingGraph | None = None):
+        self.design = design
+        self.graph = graph if graph is not None else \
+            build_timing_graph(design)
+        self.csr = self.graph.csr()
+        self.period = design.clock_period_ps
+
+        n = self.csr.n
+        # Serial-order edge adjacency (eid lists ascending == the
+        # order the reference loop visits arcs into/out of each pin).
+        self._fanin_e: list[list[int]] = [[] for _ in range(n)]
+        self._fanout_e: list[list[int]] = [[] for _ in range(n)]
+        edge_src, edge_dst = self.csr.edge_src, self.csr.edge_dst
+        for eid in range(self.csr.num_edges):
+            self._fanout_e[edge_src[eid]].append(eid)
+            self._fanin_e[edge_dst[eid]].append(eid)
+        self._edge_ids = self.csr.edge_lookup()
+        #: Plain-float shadow of csr.edge_delay for fast scalar reads.
+        self._delay: list[float] = self.csr.edge_delay.tolist()
+
+        self._rank = [0] * n
+        for r, u in enumerate(self.graph.topo):
+            self._rank[u] = r
+
+        # Launch and endpoint constraints, replicating run_sta's init.
+        self._launch: dict[int, float] = {}
+        self._src_pos: dict[int, int] = {}
+        for pos, (idx, launch) in enumerate(self.graph.sources):
+            if launch > self._launch.get(idx, _NEG_INF):
+                self._launch[idx] = launch
+            self._src_pos[idx] = pos
+        self._req_init: dict[int, float] = {}
+        self._ep_entry: dict[int, tuple[str, float]] = {}
+        for idx, setup in self.graph.endpoints:
+            req = self.period - setup
+            self._req_init[idx] = min(self._req_init.get(idx, _POS_INF),
+                                      req)
+            self._ep_entry[idx] = (self.graph.pins[idx].full_name, req)
+
+        arrival, required, endpoint_slack, worst_pred = \
+            _propagate_csr(self.graph, self.period)
+        self._arrival = arrival
+        self._required = required
+        self._worst_pred = worst_pred
+        self._endpoint_slack = endpoint_slack
+
+    # -- arc-delay patching --------------------------------------------------
+
+    def _pin_idx(self, full_name: str) -> int:
+        try:
+            return self.graph.pin_index[full_name]
+        except KeyError:
+            raise TimingError(
+                f"pin {full_name} not in timing graph — the netlist "
+                f"changed structurally; rebuild the IncrementalSta"
+            ) from None
+
+    def _net_arc_updates(self, net: Net
+                         ) -> tuple[list[tuple[int, int, float]],
+                                    tuple[int, float] | None]:
+        """(arc updates, launch update) implied by *net*'s current RC.
+
+        Mirrors ``build_timing_graph`` exactly: the net's wire arcs,
+        the driver cell's load-dependent arcs (combinational) or
+        launch delay (sequential / input port).
+        """
+        routing = self.design.require_routing()
+        rc = routing.rc.get(net.name)
+        updates: list[tuple[int, int, float]] = []
+        launch: tuple[int, float] | None = None
+        driver = net.driver
+        if driver is None or net.is_clock:
+            return updates, launch
+        src = self._pin_idx(driver.full_name)
+        for sink in net.sinks:
+            if _is_false_path_pin(sink):
+                continue
+            wire = 0.0
+            if rc is not None:
+                wire = rc.sink_delay_ps.get(sink.full_name, 0.0)
+            updates.append((src, self._pin_idx(sink.full_name), wire))
+
+        inst = driver.owner
+        if inst is None:                     # input-port pad driver
+            port = driver.port
+            if port is not None and not port.false_path:
+                load = rc.load_ff if rc is not None else 0.0
+                launch = (src, port_drive_delay(load))
+        else:
+            load = rc.load_ff if rc is not None else net.sink_cap_ff()
+            delay = cell_output_delay(inst.cell, load)
+            if inst.is_sequential:
+                launch = (src, delay)
+            else:
+                for pin in inst.input_pins():
+                    if _is_false_path_pin(pin):
+                        continue
+                    updates.append((self._pin_idx(pin.full_name), src,
+                                    delay))
+        return updates, launch
+
+    def _patch_edge(self, eid: int, delay: float) -> None:
+        """Set one arc's delay in every view of the graph."""
+        self._delay[eid] = delay
+        self.csr.edge_delay[eid] = delay
+        src = int(self.csr.edge_src[eid])
+        dst = int(self.csr.edge_dst[eid])
+        self.graph.fanout[src][self.csr.edge_fout_pos[eid]] = (dst, delay)
+        self.graph.fanin[dst][self.csr.edge_fin_pos[eid]] = (src, delay)
+
+    def _apply_net(self, net: Net, fwd: set[int], bwd: set[int]) -> None:
+        updates, launch = self._net_arc_updates(net)
+        for src, dst, delay in updates:
+            eids = self._edge_ids.get((src, dst))
+            if eids is None:
+                raise TimingError(
+                    f"arc {self.graph.pins[src].full_name} -> "
+                    f"{self.graph.pins[dst].full_name} not in timing "
+                    f"graph — the netlist changed structurally; "
+                    f"rebuild the IncrementalSta")
+            for eid in eids:
+                if self._delay[eid] != delay:
+                    self._patch_edge(eid, delay)
+                    fwd.add(dst)
+                    bwd.add(src)
+        if launch is not None:
+            idx, value = launch
+            if self._launch.get(idx, _NEG_INF) != value:
+                self._launch[idx] = value
+                pos = self._src_pos[idx]
+                self.graph.sources[pos] = (idx, value)
+                self.csr.src_launch[pos] = value
+                fwd.add(idx)
+
+    # -- frontier re-propagation ---------------------------------------------
+
+    def _recompute_arrival(self, v: int) -> tuple[float, int]:
+        """Arrival + worst predecessor of *v*, serial tie-break."""
+        best = self._launch.get(v, _NEG_INF)
+        pred = -1
+        arrival = self._arrival
+        delay = self._delay
+        edge_src = self.csr.edge_src
+        for eid in self._fanin_e[v]:
+            u = edge_src[eid]
+            au = arrival[u]
+            if au == _NEG_INF:
+                continue
+            cand = au + delay[eid]
+            if cand > best:
+                best = cand
+                pred = int(u)
+        return best, pred
+
+    def _recompute_required(self, u: int) -> float:
+        best = self._req_init.get(u, _POS_INF)
+        required = self._required
+        delay = self._delay
+        edge_dst = self.csr.edge_dst
+        for eid in self._fanout_e[u]:
+            cand = required[edge_dst[eid]] - delay[eid]
+            if cand < best:
+                best = cand
+        return best
+
+    def _update_endpoint(self, idx: int) -> None:
+        entry = self._ep_entry.get(idx)
+        if entry is None:
+            return
+        name, req = entry
+        at = self._arrival[idx]
+        if at == _NEG_INF:
+            self._endpoint_slack.pop(name, None)
+        else:
+            self._endpoint_slack[name] = req - at
+
+    def _repropagate(self, fwd: set[int], bwd: set[int]) -> None:
+        rank = self._rank
+        heap = [(rank[v], v) for v in fwd]
+        heapq.heapify(heap)
+        queued = set(fwd)
+        while heap:
+            _, v = heapq.heappop(heap)
+            queued.discard(v)
+            new_a, new_p = self._recompute_arrival(v)
+            self._worst_pred[v] = new_p
+            if new_a != self._arrival[v]:
+                self._arrival[v] = new_a
+                self._update_endpoint(v)
+                for eid in self._fanout_e[v]:
+                    d = int(self.csr.edge_dst[eid])
+                    if d not in queued:
+                        queued.add(d)
+                        heapq.heappush(heap, (rank[d], d))
+
+        heap = [(-rank[u], u) for u in bwd]
+        heapq.heapify(heap)
+        queued = set(bwd)
+        while heap:
+            _, u = heapq.heappop(heap)
+            queued.discard(u)
+            new_r = self._recompute_required(u)
+            if new_r != self._required[u]:
+                self._required[u] = new_r
+                for eid in self._fanin_e[u]:
+                    s = int(self.csr.edge_src[eid])
+                    if s not in queued:
+                        queued.add(s)
+                        heapq.heappush(heap, (-rank[s], s))
+
+    # -- public API ----------------------------------------------------------
+
+    def update(self, changed_nets: Iterable[str]) -> TimingReport:
+        """Patch the delays of *changed_nets* and re-propagate.
+
+        Pass the names of every net whose routing changed since the
+        last update (the rerouted nets themselves — their driver-cell
+        load arcs are patched automatically).  Returns a report equal
+        to a from-scratch :func:`run_sta`.
+        """
+        if self.design.clock_period_ps != self.period:
+            return self._rebind_period(changed_nets)
+        netlist = self.design.netlist
+        fwd: set[int] = set()
+        bwd: set[int] = set()
+        for name in changed_nets:
+            self._apply_net(netlist.net(name), fwd, bwd)
+        if fwd or bwd:
+            self._repropagate(fwd, bwd)
+        return self.report()
+
+    def update_routing(self) -> TimingReport:
+        """Re-sync against the design's current routing result.
+
+        Diffs **every** signal net's parasitics against the stored arc
+        delays and patches only real changes — the cheap way to follow
+        a full re-route, where most nets route identically and only
+        the neighborhood of the toggled MLS nets actually moves.
+        """
+        return self.update(net.name
+                           for net in self.design.netlist.signal_nets())
+
+    def _rebind_period(self, changed_nets: Iterable[str]) -> TimingReport:
+        """Clock constraint changed: refresh constraints, full pass."""
+        self.period = self.design.clock_period_ps
+        self._req_init.clear()
+        self._ep_entry.clear()
+        for idx, setup in self.graph.endpoints:
+            req = self.period - setup
+            self._req_init[idx] = min(self._req_init.get(idx, _POS_INF),
+                                      req)
+            self._ep_entry[idx] = (self.graph.pins[idx].full_name, req)
+        netlist = self.design.netlist
+        fwd: set[int] = set()
+        bwd: set[int] = set()
+        for name in changed_nets:
+            self._apply_net(netlist.net(name), fwd, bwd)
+        arrival, required, endpoint_slack, worst_pred = \
+            _propagate_csr(self.graph, self.period)
+        self._arrival = arrival
+        self._required = required
+        self._worst_pred = worst_pred
+        self._endpoint_slack = endpoint_slack
+        return self.report()
+
+    def report(self) -> TimingReport:
+        """A fresh :class:`TimingReport` of the current state."""
+        return TimingReport(clock_period_ps=self.period, graph=self.graph,
+                            arrival=list(self._arrival),
+                            required=list(self._required),
+                            endpoint_slack=dict(self._endpoint_slack),
+                            worst_pred=list(self._worst_pred))

@@ -1,4 +1,21 @@
-"""Arrival/required propagation and slack reporting."""
+"""Arrival/required propagation and slack reporting.
+
+Two interchangeable propagation kernels back :func:`run_sta`:
+
+* ``serial`` — the reference pure-Python loop over the list-of-lists
+  graph (the seed implementation, kept as the executable spec);
+* ``csr`` — per-level ``np.maximum.at`` / ``np.minimum.at`` scatter
+  passes over the graph's levelized CSR arrays
+  (:meth:`repro.timing.graph.TimingGraph.csr`).
+
+STA is a pure max/min semiring over float64 — there are no
+order-dependent floating-point sums — so the two kernels produce
+**bit-identical** arrivals, requireds, endpoint slacks and
+``worst_pred`` tie-breaks (the CSR kernel reconstructs the serial
+first-edge-to-reach-the-max winner from the serial edge order).  The
+equivalence is asserted by the test suite and by
+``benchmarks/bench_sta.py --smoke`` in CI.
+"""
 
 from __future__ import annotations
 
@@ -6,12 +23,18 @@ from dataclasses import dataclass, field
 
 import math
 
+import numpy as np
+
 from repro.design import Design
+from repro.errors import TimingError
 from repro.timing.graph import TimingGraph, build_timing_graph
 from repro.units import ps_to_ns
 
 _NEG_INF = -math.inf
 _POS_INF = math.inf
+
+#: Propagation kernels accepted by :func:`run_sta`.
+KERNELS = ("csr", "serial")
 
 
 @dataclass
@@ -22,6 +45,11 @@ class TimingReport:
     full-name -> slack; violating endpoints are those below zero —
     the tables' "#Vio. Paths" (one worst path per endpoint, the
     standard violation count a signoff report prints).
+
+    The summary metrics (``wns_ps``, ``tns_ns``, ``num_violating``)
+    are computed once on first access and cached — the table builders
+    read them repeatedly.  Treat a report as immutable; derive a new
+    report instead of editing ``endpoint_slack`` in place.
     """
 
     clock_period_ps: float
@@ -30,23 +58,37 @@ class TimingReport:
     required: list[float]
     endpoint_slack: dict[str, float]
     worst_pred: list[int]
+    _wns: float | None = field(default=None, init=False, repr=False,
+                               compare=False)
+    _tns: float | None = field(default=None, init=False, repr=False,
+                               compare=False)
+    _num_violating: int | None = field(default=None, init=False, repr=False,
+                                       compare=False)
 
     @property
     def wns_ps(self) -> float:
         """Worst negative slack (0 when the design meets timing)."""
-        if not self.endpoint_slack:
-            return 0.0
-        return min(0.0, min(self.endpoint_slack.values()))
+        if self._wns is None:
+            if not self.endpoint_slack:
+                self._wns = 0.0
+            else:
+                self._wns = min(0.0, min(self.endpoint_slack.values()))
+        return self._wns
 
     @property
     def tns_ns(self) -> float:
         """Total negative slack in ns (paper's TNS unit)."""
-        total = sum(s for s in self.endpoint_slack.values() if s < 0)
-        return ps_to_ns(total)
+        if self._tns is None:
+            total = sum(s for s in self.endpoint_slack.values() if s < 0)
+            self._tns = ps_to_ns(total)
+        return self._tns
 
     @property
     def num_violating(self) -> int:
-        return sum(1 for s in self.endpoint_slack.values() if s < 0)
+        if self._num_violating is None:
+            self._num_violating = sum(
+                1 for s in self.endpoint_slack.values() if s < 0)
+        return self._num_violating
 
     @property
     def num_endpoints(self) -> int:
@@ -83,15 +125,10 @@ class TimingReport:
         }
 
 
-def run_sta(design: Design, graph: TimingGraph | None = None) -> TimingReport:
-    """Full STA at the design's clock constraint.
-
-    Pass a prebuilt *graph* to skip reconstruction when the netlist
-    and routing have not changed structurally (parasitics baked into
-    arc delays do change with routing, so rebuild after reroutes).
-    """
-    if graph is None:
-        graph = build_timing_graph(design)
+def _propagate_serial(graph: TimingGraph, period: float
+                      ) -> tuple[list[float], list[float],
+                                 dict[str, float], list[int]]:
+    """Reference Python-loop propagation (the executable spec)."""
     n = len(graph.pins)
     arrival = [_NEG_INF] * n
     worst_pred = [-1] * n
@@ -109,7 +146,6 @@ def run_sta(design: Design, graph: TimingGraph | None = None) -> TimingReport:
                 arrival[v] = cand
                 worst_pred[v] = u
 
-    period = design.clock_period_ps
     required = [_POS_INF] * n
     endpoint_slack: dict[str, float] = {}
     for idx, setup in graph.endpoints:
@@ -127,6 +163,113 @@ def run_sta(design: Design, graph: TimingGraph | None = None) -> TimingReport:
             if cand < ru:
                 ru = cand
         required[u] = ru
+
+    return arrival, required, endpoint_slack, worst_pred
+
+
+def _forward_csr(csr) -> np.ndarray:
+    """Vectorized arrival sweep: one maximum-scatter per level."""
+    arrival = np.full(csr.n, _NEG_INF, dtype=np.float64)
+    if csr.src_idx.size:
+        np.maximum.at(arrival, csr.src_idx, csr.src_launch)
+    for lev in range(1, csr.num_levels):
+        sel = csr.fwd_perm[csr.fwd_starts[lev]:csr.fwd_starts[lev + 1]]
+        if not sel.size:
+            continue
+        cand = arrival[csr.edge_src[sel]] + csr.edge_delay[sel]
+        np.maximum.at(arrival, csr.edge_dst[sel], cand)
+    return arrival
+
+
+def _backward_csr(csr, period: float) -> np.ndarray:
+    """Vectorized required sweep: one minimum-scatter per level."""
+    required = np.full(csr.n, _POS_INF, dtype=np.float64)
+    if csr.ep_idx.size:
+        np.minimum.at(required, csr.ep_idx, period - csr.ep_setup)
+    for group in range(csr.num_levels):
+        sel = csr.bwd_perm[csr.bwd_starts[group]:csr.bwd_starts[group + 1]]
+        if not sel.size:
+            continue
+        cand = required[csr.edge_dst[sel]] - csr.edge_delay[sel]
+        np.minimum.at(required, csr.edge_src[sel], cand)
+    return required
+
+
+def _worst_pred_csr(csr, arrival: np.ndarray) -> np.ndarray:
+    """Reconstruct the serial loop's worst-arrival predecessors.
+
+    The serial loop visits edges in ascending edge-id order and only
+    overwrites on a strict improvement, so each pin's predecessor is
+    the *lowest-id* edge whose candidate equals the final arrival —
+    unless the launch initialization already equals it (no strict
+    improvement ever happened, predecessor stays -1).
+    """
+    num_edges = csr.num_edges
+    pred = np.full(csr.n, -1, dtype=np.int64)
+    if not num_edges:
+        return pred
+    launch = np.full(csr.n, _NEG_INF, dtype=np.float64)
+    if csr.src_idx.size:
+        np.maximum.at(launch, csr.src_idx, csr.src_launch)
+    src_arr = arrival[csr.edge_src]
+    cand = src_arr + csr.edge_delay
+    hits = (src_arr != _NEG_INF) & (cand == arrival[csr.edge_dst]) \
+        & (arrival[csr.edge_dst] != launch[csr.edge_dst])
+    eid = np.where(hits, np.arange(num_edges, dtype=np.int64), num_edges)
+    first = np.full(csr.n, num_edges, dtype=np.int64)
+    np.minimum.at(first, csr.edge_dst, eid)
+    found = first < num_edges
+    pred[found] = csr.edge_src[first[found]]
+    return pred
+
+
+def _propagate_csr(graph: TimingGraph, period: float
+                   ) -> tuple[list[float], list[float],
+                              dict[str, float], list[int]]:
+    """Levelized numpy propagation — bit-identical to the serial loop."""
+    csr = graph.csr()
+    arrival = _forward_csr(csr)
+    required = _backward_csr(csr, period)
+    worst_pred = _worst_pred_csr(csr, arrival)
+
+    endpoint_slack: dict[str, float] = {}
+    pins = graph.pins
+    for idx, setup in graph.endpoints:
+        at = arrival[idx]
+        if at == _NEG_INF:
+            continue
+        endpoint_slack[pins[idx].full_name] = (period - setup) - float(at)
+
+    return (arrival.tolist(), required.tolist(), endpoint_slack,
+            worst_pred.tolist())
+
+
+def run_sta(design: Design, graph: TimingGraph | None = None,
+            kernel: str = "csr") -> TimingReport:
+    """Full STA at the design's clock constraint.
+
+    Pass a prebuilt *graph* to skip reconstruction when the netlist
+    and routing have not changed structurally (parasitics baked into
+    arc delays do change with routing, so rebuild — or patch through
+    :class:`repro.timing.incremental.IncrementalSta` — after
+    reroutes).
+
+    *kernel* selects the propagation engine: ``"csr"`` (default, the
+    vectorized levelized kernel) or ``"serial"`` (the reference
+    Python loop).  Both produce bit-identical reports.
+    """
+    if kernel not in KERNELS:
+        raise TimingError(f"unknown STA kernel {kernel!r}; "
+                          f"choose from {KERNELS}")
+    if graph is None:
+        graph = build_timing_graph(design)
+    period = design.clock_period_ps
+    if kernel == "serial":
+        arrival, required, endpoint_slack, worst_pred = \
+            _propagate_serial(graph, period)
+    else:
+        arrival, required, endpoint_slack, worst_pred = \
+            _propagate_csr(graph, period)
 
     return TimingReport(clock_period_ps=period, graph=graph,
                         arrival=arrival, required=required,

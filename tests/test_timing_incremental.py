@@ -1,0 +1,268 @@
+"""CSR kernel bit-identity and exact incremental-STA equivalence.
+
+The contract under test: the vectorized CSR kernel and the frontier
+incremental engine are not approximations — every float they produce
+(arrivals, requireds, endpoint slacks, worst-predecessor tie-breaks)
+is **exactly** equal to the reference serial loop, on real routed
+designs, through arbitrary MLS add/remove churn.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.design import Design
+from repro.errors import TimingError
+from repro.mls import apply_mls_incremental, route_with_mls
+from repro.mls.oracle import candidate_nets, oracle_slack_labels
+from repro.netlist.generators.a7 import A7Config, generate_a7_dual_core
+from repro.opt import insert_buffers
+from repro.parallel import ParallelConfig
+from repro.partition import partition_memory_on_logic
+from repro.place import place_design
+from repro.rng import SeedBundle, stream
+from repro.route import GlobalRouter
+from repro.timing import IncrementalSta, run_sta
+from repro.timing.sta import TimingReport
+
+from tests.conftest import TEST_SEED, build_small_design, make_chain_netlist
+
+
+def build_small_a7(tech, seed: int = TEST_SEED) -> Design:
+    """A deliberately tiny A7 pushed through place/buffer/route."""
+    seeds = SeedBundle(seed)
+    netlist = generate_a7_dual_core(
+        A7Config(word_width=8, stage_depth=2, cache_banks=1, bus_width=4),
+        tech.libraries, seeds)
+    design = Design(netlist, tech, 1500.0)
+    design.tiers = partition_memory_on_logic(netlist)
+    design.placement, design.floorplan = place_design(
+        netlist, design.tiers, seeds)
+    insert_buffers(design)
+    route_with_mls(design, set())
+    return design
+
+
+def assert_reports_identical(got: TimingReport, want: TimingReport) -> None:
+    """Bit-exact equality, including dict iteration order (TNS is an
+    order-dependent float sum over endpoint_slack.values())."""
+    assert got.arrival == want.arrival
+    assert got.required == want.required
+    assert got.worst_pred == want.worst_pred
+    assert got.endpoint_slack == want.endpoint_slack
+    assert list(got.endpoint_slack) == list(want.endpoint_slack)
+    assert got.wns_ps == want.wns_ps
+    assert got.tns_ns == want.tns_ns
+
+
+class TestCsrKernel:
+    def test_bit_identical_on_routed_design(self, routed_small_design):
+        d = routed_small_design
+        serial = run_sta(d, kernel="serial")
+        csr = run_sta(d, kernel="csr")
+        assert_reports_identical(csr, serial)
+
+    def test_bit_identical_on_chain(self, hetero_tech):
+        nl = make_chain_netlist(hetero_tech, stages=4)
+        d = Design(nl, hetero_tech, 20000.0)
+        d.tiers = partition_memory_on_logic(nl)
+        d.placement, d.floorplan = place_design(
+            nl, d.tiers, SeedBundle(TEST_SEED))
+        route_with_mls(d, set())
+        assert_reports_identical(run_sta(d, kernel="csr"),
+                                 run_sta(d, kernel="serial"))
+
+    def test_csr_is_the_default(self, routed_small_design):
+        d = routed_small_design
+        assert_reports_identical(run_sta(d), run_sta(d, kernel="csr"))
+
+    def test_unknown_kernel_rejected(self, routed_small_design):
+        with pytest.raises(TimingError, match="kernel"):
+            run_sta(routed_small_design, kernel="vectorised")
+
+    def test_prebuilt_graph_csr_view_reusable(self, routed_small_design):
+        from repro.timing import build_timing_graph
+        graph = build_timing_graph(routed_small_design)
+        first = run_sta(routed_small_design, graph=graph)
+        again = run_sta(routed_small_design, graph=graph)
+        assert_reports_identical(again, first)
+
+
+class TestIncrementalSta:
+    def _random_toggle_rounds(self, design: Design, rounds: int,
+                              tag: str) -> None:
+        """Property: through random MLS add/remove churn, the patched
+        engine stays exactly equal to a from-scratch run_sta."""
+        router = GlobalRouter(design)
+        router.route_all()
+        inc = IncrementalSta(design)
+        assert_reports_identical(inc.report(), run_sta(design))
+
+        pool = [n.name for n in candidate_nets(design)]
+        rng = stream(f"inc-sta-{tag}", TEST_SEED)
+        routing = design.require_routing()
+        for _ in range(rounds):
+            applied = set(design.mls_nets)
+            off = [n for n in pool if n not in applied]
+            take_on = int(rng.integers(1, 6))
+            add = set(rng.choice(off, size=min(take_on, len(off)),
+                                 replace=False).tolist()) if off else set()
+            remove = set()
+            if applied:
+                take_off = int(rng.integers(0, 3))
+                if take_off:
+                    remove = set(rng.choice(sorted(applied),
+                                            size=min(take_off, len(applied)),
+                                            replace=False).tolist())
+            apply_mls_incremental(design, router, routing,
+                                  add=add, remove=remove, sta=inc)
+            assert_reports_identical(inc.report(), run_sta(design))
+
+    def test_random_toggles_match_full_sta_maeri(self, fresh_small_design):
+        self._random_toggle_rounds(fresh_small_design, rounds=4,
+                                   tag="maeri")
+
+    def test_random_toggles_match_full_sta_a7(self, hetero_tech):
+        self._random_toggle_rounds(build_small_a7(hetero_tech), rounds=3,
+                                   tag="a7")
+
+    def test_update_routing_follows_full_reroute(self, fresh_small_design):
+        d = fresh_small_design
+        inc = IncrementalSta(d)
+        nets = {n.name for n in candidate_nets(d)[::9][:8]}
+        route_with_mls(d, nets)
+        rep = inc.update_routing()
+        assert_reports_identical(rep, run_sta(d))
+        # And back off again.
+        route_with_mls(d, set())
+        assert_reports_identical(inc.update_routing(), run_sta(d))
+
+    def test_serial_kernel_agrees_on_patched_shared_graph(
+            self, fresh_small_design):
+        # The engine keeps the list-of-lists view in sync with every
+        # patch, so the reference loop over the *shared* graph must
+        # agree with the incremental state.
+        d = fresh_small_design
+        router = GlobalRouter(d)
+        routing = router.route_all()
+        inc = IncrementalSta(d)
+        net = candidate_nets(d)[3]
+        router.reroute_net(routing, net, mls=True)
+        rep = inc.update([net.name])
+        assert_reports_identical(
+            rep, run_sta(d, graph=inc.graph, kernel="serial"))
+
+    def test_clock_period_change_rebinds(self, fresh_small_design):
+        d = fresh_small_design
+        inc = IncrementalSta(d)
+        d.clock_period_ps = d.clock_period_ps / 2.0
+        assert_reports_identical(inc.update([]), run_sta(d))
+
+    def test_structural_change_raises(self, hetero_tech):
+        d = build_small_design(hetero_tech, routed=False, buffered=False)
+        route_with_mls(d, set())
+        inc = IncrementalSta(d)
+        insert_buffers(d)            # splits nets: structural edit
+        route_with_mls(d, set())
+        with pytest.raises(TimingError, match="structurally"):
+            inc.update_routing()
+
+
+class TestExactSlackOracle:
+    def test_probes_restore_baseline_exactly(self, fresh_small_design):
+        d = fresh_small_design
+        router = GlobalRouter(d)
+        routing = router.route_all()
+        inc = IncrementalSta(d)
+        base = run_sta(d)
+        nets = candidate_nets(d)[:6]
+        wl_before = {n.name: routing.tree(n.name).wirelength()
+                     for n in nets}
+        labels = oracle_slack_labels(d, router, routing, nets=nets,
+                                     sta=inc)
+        assert set(labels) <= {n.name for n in nets}
+        # Grid, routing and timing state all rolled back bit-exactly.
+        for n in nets:
+            assert routing.tree(n.name).wirelength() == wl_before[n.name]
+        assert_reports_identical(inc.report(), base)
+        assert_reports_identical(run_sta(d), base)
+
+    def test_gains_are_global_slack_movements(self, fresh_small_design):
+        d = fresh_small_design
+        router = GlobalRouter(d)
+        routing = router.route_all()
+        labels = oracle_slack_labels(d, router, routing,
+                                     nets=candidate_nets(d)[:4])
+        for lab in labels.values():
+            if lab.label == 1:
+                assert lab.applied
+                assert max(lab.gain_wns_ps, lab.gain_tns_ps) >= 0.25
+
+
+class TestReportCaching:
+    def test_summary_metrics_cached_on_first_access(self):
+        rep = TimingReport(clock_period_ps=1000.0, graph=None,
+                           arrival=[], required=[],
+                           endpoint_slack={"a": -5.0, "b": 3.0},
+                           worst_pred=[])
+        assert rep.wns_ps == -5.0
+        assert rep.tns_ns == pytest.approx(-0.005)
+        assert rep.num_violating == 1
+        # Documented immutability: cached values survive (and expose)
+        # in-place mutation of endpoint_slack.
+        rep.endpoint_slack["c"] = -100.0
+        assert rep.wns_ps == -5.0
+        assert rep.num_violating == 1
+
+
+class TestSingleCoreDegrade:
+    def test_degrades_to_serial_and_logs_once(self, monkeypatch, caplog):
+        import repro.parallel.config as pcfg
+        monkeypatch.setattr(pcfg, "usable_cores", lambda: 1)
+        monkeypatch.setattr(pcfg, "_DEGRADE_LOGGED", False)
+        cfg = ParallelConfig(workers=4, min_items=2)
+        assert cfg.enabled
+        with caplog.at_level(logging.WARNING, logger=pcfg.__name__):
+            assert not cfg.should_parallelize(1000)
+            assert not cfg.should_parallelize(1000)
+        notes = [r for r in caplog.records
+                 if "single-core" in r.getMessage()]
+        assert len(notes) == 1
+
+    def test_multicore_unaffected(self, monkeypatch):
+        import repro.parallel.config as pcfg
+        monkeypatch.setattr(pcfg, "usable_cores", lambda: 8)
+        cfg = ParallelConfig(workers=4, min_items=2)
+        assert cfg.should_parallelize(1000)
+
+
+class TestPrepareCacheBound:
+    def test_lru_eviction(self, monkeypatch, hetero_tech):
+        import repro.core.flow as flow_mod
+        flow_mod.clear_prepare_cache()
+        monkeypatch.setattr(flow_mod, "PREPARE_CACHE_MAX_ENTRIES", 2)
+        monkeypatch.setattr(
+            flow_mod, "prepare_design",
+            lambda factory, tech, seeds, config: ("stub", seeds.seed))
+        config = flow_mod.FlowConfig(selector="none")
+
+        def prep(seed):
+            return flow_mod.prepare_design_cached(
+                generate_a7_dual_core, hetero_tech,
+                SeedBundle(seed), config)
+
+        assert prep(1) == ("stub", 1)
+        assert prep(2) == ("stub", 2)
+        assert prep(3) == ("stub", 3)
+        assert len(flow_mod._PREPARE_CACHE) == 2
+        # Seed 1 was least recently used -> evicted; 2 and 3 remain.
+        keys = list(flow_mod._PREPARE_CACHE)
+        assert [k[2] for k in keys] == [2, 3]
+        # Re-touching seed 2 makes 3 the eviction candidate.
+        prep(2)
+        prep(4)
+        keys = list(flow_mod._PREPARE_CACHE)
+        assert [k[2] for k in keys] == [2, 4]
+        flow_mod.clear_prepare_cache()
