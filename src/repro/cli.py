@@ -37,6 +37,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int,
                         default=DEFAULT_EXPERIMENT_SEED)
     _add_parallel(parser)
+    parser.add_argument("--place-region-parallel", action="store_true",
+                        help="opt-in block-Jacobi region-parallel "
+                             "bisection placement (deterministic at any "
+                             "worker count, but placements differ "
+                             "slightly from the serial joint solve)")
 
 
 def _positive_int(text: str) -> int:
@@ -73,7 +78,9 @@ def _cmd_list(_args) -> int:
 def _cmd_flow(args) -> int:
     spec = get_benchmark(args.benchmark)
     report = run_benchmark_flow(spec, args.selector, seed=args.seed,
-                                parallel=_parallel_config(args))
+                                parallel=_parallel_config(args),
+                                place_region_parallel=
+                                args.place_region_parallel)
     print(f"{spec.paper_name} — selector {args.selector}")
     for key, value in report.row().items():
         print(f"  {key:<18} {value:>12.3f}" if isinstance(value, float)
@@ -113,7 +120,9 @@ def _cmd_timing(args) -> int:
     from repro.timing.report import render_summary
     spec = get_benchmark(args.benchmark)
     report = run_benchmark_flow(spec, args.selector, seed=args.seed,
-                                parallel=_parallel_config(args))
+                                parallel=_parallel_config(args),
+                                place_region_parallel=
+                                args.place_region_parallel)
     print(render_summary(report.final_sta, num_paths=args.paths))
     return 0
 
@@ -122,7 +131,9 @@ def _cmd_congestion(args) -> int:
     from repro.route.report import render_heatmap, render_utilization
     spec = get_benchmark(args.benchmark)
     report = run_benchmark_flow(spec, args.selector, seed=args.seed,
-                                parallel=_parallel_config(args))
+                                parallel=_parallel_config(args),
+                                place_region_parallel=
+                                args.place_region_parallel)
     routing = report.design.require_routing()
     print(render_utilization(routing))
     print()

@@ -21,7 +21,6 @@ disabled for a faithful-ablation run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -75,6 +75,12 @@ class FlowConfig:
     #: default (workers=1) runs every stage serially, bit-identical to
     #: the parallel paths.
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    #: Opt-in block-Jacobi region-parallel bisection refinement (see
+    #: repro.place.bisection).  Unlike the other parallel stages this
+    #: changes the placement slightly (not bit-identical to the joint
+    #: solve), though deterministically at any worker count — hence a
+    #: separate flag rather than riding on ``parallel`` alone.
+    place_region_parallel: bool = False
 
     def __post_init__(self) -> None:
         if self.selector not in SELECTORS:
@@ -141,7 +147,8 @@ def prepare_design(factory: NetlistFactory, tech: TechSetup,
     design = Design(netlist, tech, config.target_freq_mhz)
     design.tiers = partition_memory_on_logic(netlist)
     design.placement, design.floorplan = place_design(
-        netlist, design.tiers, seeds)
+        netlist, design.tiers, seeds, parallel=config.parallel,
+        region_parallel=config.place_region_parallel)
     plan = default_power_plan(design)
     insert_level_shifters(design, plan)
     if config.with_scan:
@@ -172,7 +179,8 @@ def _prepare_cache_key(factory: NetlistFactory, tech: TechSetup,
     """
     tech_digest = hashlib.sha256(dumps_snapshot(tech)).hexdigest()
     return (factory, tech_digest, seeds.seed,
-            config.target_freq_mhz, config.with_scan)
+            config.target_freq_mhz, config.with_scan,
+            config.place_region_parallel)
 
 
 def prepare_design_cached(factory: NetlistFactory, tech: TechSetup,
@@ -183,8 +191,8 @@ def prepare_design_cached(factory: NetlistFactory, tech: TechSetup,
     including the one that populates an entry — gets its own unpickled
     copy, so downstream stages (routing, MLS toggles, DFT inserts) on
     one copy never leak into another selector's run.  Preparation is
-    deterministic in (factory, tech, seed, target freq, scan), which
-    is exactly the cache key.
+    deterministic in (factory, tech, seed, target freq, scan,
+    region-parallel placement), which is exactly the cache key.
     """
     key = _prepare_cache_key(factory, tech, seeds, config)
     if key in _PREPARE_CACHE:

@@ -21,14 +21,14 @@ designs tractable in pure Python.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import DFTError
 from repro.netlist.cell import Instance
 from repro.netlist.netlist import Netlist
-from repro.dft.faults import Fault, FaultUniverse, SA0, SA1
+from repro.dft.faults import Fault, FaultUniverse, SA1
 from repro.dft.logic3 import eval_gate
 from repro.parallel import ParallelConfig, snapshot_map
 

@@ -14,7 +14,7 @@ calibrated against exact simulation on small designs in the tests).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import math
 

@@ -9,7 +9,7 @@ nominal targets next to ours.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.design import TechSetup

@@ -7,7 +7,6 @@ plot-free avoids a matplotlib dependency offline.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.harness.designs import DEFAULT_EXPERIMENT_SEED, get_benchmark
 from repro.harness.tables import (flow_comparison_rows, run_benchmark_flow,

@@ -10,14 +10,12 @@ runs of one table only pay routing + selection + signoff.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.flow import (FlowConfig, FlowReport, run_flow,
                              prepare_design_cached)
 from repro.harness.designs import (BenchmarkSpec, get_benchmark,
                                    DEFAULT_EXPERIMENT_SEED)
 from repro.mls import route_with_mls
-from repro.mls.oracle import candidate_nets
 from repro.parallel import ParallelConfig
 from repro.timing import (IncrementalSta, extract_worst_paths,
                           net_whatif_delta)
@@ -30,16 +28,20 @@ def run_benchmark_flow(spec: BenchmarkSpec, selector: str,
                        with_scan: bool = False,
                        dft_strategy: str | None = None,
                        seed: int = DEFAULT_EXPERIMENT_SEED,
-                       parallel: ParallelConfig | None = None) -> FlowReport:
+                       parallel: ParallelConfig | None = None,
+                       place_region_parallel: bool = False) -> FlowReport:
     """Run (or fetch) one cached flow.
 
     *parallel* only changes wall-clock, never results (the equivalence
     suite locks that), but it participates in the memo key so repeat
     invocations with different worker counts measure honestly.
+    *place_region_parallel* does change the placement (deterministic,
+    quality-held — see repro.place.bisection), so it keys both this
+    memo and the prepare cache.
     """
     parallel = parallel or ParallelConfig()
     key = (spec.key, selector, with_scan, dft_strategy, seed,
-           parallel.workers)
+           parallel.workers, place_region_parallel)
     if key not in _FLOW_CACHE:
         config = FlowConfig(
             selector=selector,
@@ -50,6 +52,7 @@ def run_benchmark_flow(spec: BenchmarkSpec, selector: str,
             dft_strategy=dft_strategy,
             activity=spec.activity,
             parallel=parallel,
+            place_region_parallel=place_region_parallel,
         )
         design = prepare_design_cached(spec.factory, spec.tech(),
                                        spec.seeds(seed), config)

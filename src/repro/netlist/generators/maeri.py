@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.errors import NetlistError
 from repro.netlist.builder import NetlistBuilder

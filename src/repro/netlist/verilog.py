@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Iterable, TextIO
+from typing import TextIO
 
 from repro.errors import NetlistError
 from repro.netlist.netlist import Netlist

@@ -24,7 +24,6 @@ from typing import Iterable
 from repro.design import Design
 from repro.errors import PlacementError
 from repro.netlist.net import Net, Pin
-from repro.netlist.netlist import Netlist
 
 #: Default maximum unbuffered manhattan span, um.
 DEFAULT_L_BUF_UM = 40.0

@@ -10,7 +10,6 @@ through F2F power vias distributed across the overlap.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.design import Design

@@ -9,7 +9,7 @@ node voltages.  Reports the worst drop as a percentage of the plan's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp

@@ -8,7 +8,7 @@ Macro-3D designs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import math
 

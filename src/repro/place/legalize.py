@@ -5,6 +5,12 @@ overlap, minimizing displacement greedily: cells are bucketed into
 their nearest non-full row (by area capacity), then packed left-to-
 right near their desired x.  Macros legalize separately into the
 reserved macro band.
+
+The in-row packing recurrence ``left[i] = max(cursor, desired[i])``
+is evaluated in closed form with a prefix maximum: with ``S`` the
+exclusive prefix sum of widths, ``left = S + cummax(desired - S)``
+(floored at a starting cursor of 0), which lets each row pack as a
+handful of NumPy array ops instead of a Python loop.
 """
 
 from __future__ import annotations
@@ -14,6 +20,22 @@ import numpy as np
 from repro.errors import PlacementError
 from repro.netlist.netlist import Netlist
 from repro.place.floorplan import Floorplan
+
+
+def _pack_row(desired_left: np.ndarray, widths: np.ndarray,
+              row_cap: float) -> np.ndarray:
+    """Left edges packing cells at desired x, pushing right on overlap."""
+    csum = np.concatenate(([0.0], np.cumsum(widths)[:-1]))
+    left = csum + np.maximum.accumulate(
+        np.maximum(desired_left - csum, -csum))
+    overflow = left[-1] + widths[-1] - row_cap
+    if overflow > 0:
+        # Shift everything back, then re-pack to clear any overlap
+        # introduced by the clamp at 0.
+        shifted = np.maximum(left - overflow, 0.0)
+        left = csum + np.maximum.accumulate(
+            np.maximum(shifted - csum, -csum))
+    return left
 
 
 def legalize_tier(netlist: Netlist, names: list[str],
@@ -27,15 +49,23 @@ def legalize_tier(netlist: Netlist, names: list[str],
     """
     if not names:
         return {}
-    widths = {}
-    for name in names:
+    n = len(names)
+    row_height = fp.row_height
+    site_width = fp.site_width
+    width_of_cell: dict[int, float] = {}
+    widths = np.empty(n)
+    for k, name in enumerate(names):
         inst = netlist.instance(name)
         if inst.is_macro:
             raise PlacementError(
                 f"macro {name} must go through legalize_macros")
-        widths[name] = max(fp.site_width,
-                           inst.cell.area_um2 / fp.row_height)
-    total_width = sum(widths.values())
+        cell = inst.cell
+        w = width_of_cell.get(id(cell))
+        if w is None:
+            w = max(site_width, cell.area_um2 / row_height)
+            width_of_cell[id(cell)] = w
+        widths[k] = w
+    total_width = float(widths.sum())
     capacity = fp.num_rows * fp.width
     if total_width > capacity:
         raise PlacementError(
@@ -44,65 +74,52 @@ def legalize_tier(netlist: Netlist, names: list[str],
 
     num_rows = fp.num_rows
     row_cap = fp.width
-    row_used = np.zeros(num_rows)
-    row_members: list[list[str]] = [[] for _ in range(num_rows)]
+    xs = np.fromiter((positions[m][0] for m in names), dtype=float,
+                     count=n)
+    ys = np.fromiter((positions[m][1] for m in names), dtype=float,
+                     count=n)
+    name_rank = np.empty(n, dtype=np.int64)
+    name_rank[np.array(sorted(range(n), key=names.__getitem__),
+                       dtype=np.int64)] = np.arange(n)
+    desired = np.clip((ys / row_height).astype(np.int64), 0, num_rows - 1)
 
     # Assign each cell to the closest row with remaining capacity,
-    # processing bottom-up by desired y for stability.
-    by_y = sorted(names, key=lambda n: (positions[n][1], n))
-    for name in by_y:
-        desired_row = int(positions[name][1] / fp.row_height)
-        desired_row = min(max(desired_row, 0), num_rows - 1)
-        row = desired_row
-        # Search alternating outwards for space.
+    # processing bottom-up by desired y for stability (alternating
+    # up/down search, up candidate first at each offset).
+    row_used = [0.0] * num_rows
+    row_members: list[list[int]] = [[] for _ in range(num_rows)]
+    by_y = np.lexsort((name_rank, ys))
+    for i in by_y:
+        desired_row = int(desired[i])
+        width = widths[i]
+        row = None
         for offset in range(num_rows):
-            candidates = []
-            if desired_row + offset < num_rows:
-                candidates.append(desired_row + offset)
-            if offset > 0 and desired_row - offset >= 0:
-                candidates.append(desired_row - offset)
-            found = None
-            for r in candidates:
-                if row_used[r] + widths[name] <= row_cap:
-                    found = r
-                    break
-            if found is not None:
-                row = found
+            up = desired_row + offset
+            if up < num_rows and row_used[up] + width <= row_cap:
+                row = up
                 break
-        else:  # pragma: no cover - guarded by capacity check above
-            raise PlacementError(f"no row space for {name}")
-        row_used[row] += widths[name]
-        row_members[row].append(name)
+            down = desired_row - offset
+            if offset > 0 and down >= 0 and row_used[down] + width <= row_cap:
+                row = down
+                break
+        if row is None:  # pragma: no cover - guarded by capacity check
+            raise PlacementError(f"no row space for {names[i]}")
+        row_used[row] += width
+        row_members[row].append(i)
 
-    legal: dict[str, tuple[float, float]] = {}
+    legal_x = np.empty(n)
+    legal_y = np.empty(n)
     for row_idx, members in enumerate(row_members):
         if not members:
             continue
-        members.sort(key=lambda n: (positions[n][0], n))
-        # Pack left-to-right at desired x, pushing right on conflicts.
-        cursor = 0.0
-        placed: list[tuple[str, float]] = []  # (name, left edge)
-        for name in members:
-            desired_left = positions[name][0] - widths[name] / 2.0
-            left = max(cursor, desired_left)
-            placed.append((name, left))
-            cursor = left + widths[name]
-        # If the row overflowed on the right, shift everything back.
-        overflow = cursor - fp.width
-        if overflow > 0:
-            placed = [(n, max(0.0, left - overflow)) for n, left in placed]
-            # Re-pack to clear any overlap introduced by the clamp.
-            cursor = 0.0
-            repacked = []
-            for name, left in placed:
-                left = max(cursor, left)
-                repacked.append((name, left))
-                cursor = left + widths[name]
-            placed = repacked
-        y = row_idx * fp.row_height + fp.row_height / 2.0
-        for name, left in placed:
-            legal[name] = (left + widths[name] / 2.0, y)
-    return legal
+        idx = np.array(members, dtype=np.int64)
+        idx = idx[np.lexsort((name_rank[idx], xs[idx]))]
+        w = widths[idx]
+        left = _pack_row(xs[idx] - w / 2.0, w, row_cap)
+        legal_x[idx] = left + w / 2.0
+        legal_y[idx] = row_idx * row_height + row_height / 2.0
+    return {name: (float(legal_x[k]), float(legal_y[k]))
+            for k, name in enumerate(names)}
 
 
 def legalize_macros(netlist: Netlist, names: list[str],

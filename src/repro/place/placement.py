@@ -36,6 +36,14 @@ class Placement:
     def set_instance(self, name: str, x: float, y: float) -> None:
         self._loc[name] = Location(x, y, self.tiers.of_instance(name))
 
+    def set_instances(self,
+                      positions: dict[str, tuple[float, float]]) -> None:
+        """Batch :meth:`set_instance` over a name -> (x, y) dict."""
+        of_tier = self.tiers.of_instance
+        self._loc.update(
+            (name, Location(x, y, of_tier(name)))
+            for name, (x, y) in positions.items())
+
     def set_port(self, name: str, x: float, y: float) -> None:
         self._port_loc[name] = Location(x, y, self.tiers.of_port(name))
 

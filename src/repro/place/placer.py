@@ -7,22 +7,25 @@ Stages (mirroring a pseudo-3D flow):
    macros movable — this aligns vertically-related cells, keeping
    cross-tier nets short exactly as Macro-3D intends.
 3. Macros snap into the memory-tier band and become fixed anchors.
-4. Second quadratic solve of the standard cells against ports+macros,
-   followed by rank-remap spreading.
+4. Recursive bisection of the standard cells against ports+macros.
 5. Per-tier row legalization.
+
+The net connectivity arrays (:class:`~repro.place.system
+.NetConnectivity`) are built once and shared between the macro-seeding
+solve and every bisection level.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.netlist.netlist import Netlist
+from repro.parallel import ParallelConfig
 from repro.partition.tier import TIER_LOGIC, TIER_MEMORY, TierAssignment
 from repro.place.floorplan import Floorplan, make_floorplan
 from repro.place.legalize import legalize_macros, legalize_tier
 from repro.place.placement import Placement
 from repro.place.quadratic import quadratic_solve
 from repro.place.bisection import bisection_place
+from repro.place.system import NetConnectivity
 from repro.rng import SeedBundle
 
 
@@ -59,8 +62,18 @@ def _pin_ports(netlist: Netlist, tiers: TierAssignment, fp: Floorplan,
 def place_design(netlist: Netlist, tiers: TierAssignment,
                  seeds: SeedBundle,
                  fp: Floorplan | None = None,
-                 utilization: float = 0.45) -> tuple[Placement, Floorplan]:
-    """Place *netlist* per *tiers*; returns (placement, floorplan)."""
+                 utilization: float = 0.45,
+                 parallel: ParallelConfig | None = None,
+                 region_parallel: bool = False
+                 ) -> tuple[Placement, Floorplan]:
+    """Place *netlist* per *tiers*; returns (placement, floorplan).
+
+    ``region_parallel=True`` opts the bisection refinement into the
+    block-Jacobi region mode (see :mod:`repro.place.bisection`), fanned
+    out over *parallel* when it allows — placements differ slightly
+    from the serial joint solve but are deterministic at any worker
+    count.
+    """
     if fp is None:
         fp = make_floorplan(netlist, utilization=utilization)
     placement = Placement(netlist, tiers)
@@ -69,24 +82,26 @@ def place_design(netlist: Netlist, tiers: TierAssignment,
     macro_names = [n for n, inst in netlist.instances.items() if inst.is_macro]
     std_names = [n for n in netlist.instances if n not in set(macro_names)]
 
+    conn = NetConnectivity.from_netlist(netlist)
+
     # Pass 1: everything movable, to get global macro positions.
-    rough = quadratic_solve(netlist, fixed, fp)
+    rough = quadratic_solve(netlist, fixed, fp, conn=conn)
     if macro_names:
         macro_pos = legalize_macros(netlist, macro_names, rough, fp)
-        for name, (x, y) in macro_pos.items():
-            fixed[name] = (x, y)
-            placement.set_instance(name, x, y)
+        fixed.update(macro_pos)
+        placement.set_instances(macro_pos)
 
     # Pass 2: standard cells against fixed ports + macros via
     # recursive bisection (the pure quadratic solution collapses
     # interchangeable clusters onto one point — see bisection.py).
-    spread_pos = bisection_place(netlist, fixed, fp, movable=std_names)
+    spread_pos = bisection_place(netlist, fixed, fp, movable=std_names,
+                                 conn=conn, parallel=parallel,
+                                 region_parallel=region_parallel)
 
     for tier in (TIER_LOGIC, TIER_MEMORY):
         tier_names = [n for n in std_names if tiers.of_instance(n) == tier]
-        legal = legalize_tier(netlist, tier_names, spread_pos, fp)
-        for name, (x, y) in legal.items():
-            placement.set_instance(name, x, y)
+        placement.set_instances(
+            legalize_tier(netlist, tier_names, spread_pos, fp))
 
     placement.validate()
     return placement, fp

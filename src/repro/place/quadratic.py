@@ -3,34 +3,35 @@
 Minimizes sum over nets of squared pin-to-pin distance subject to fixed
 anchors (ports, macros), the classic analytical-placement formulation.
 Small nets use a clique model; large nets a star with a virtual movable
-node, keeping the system sparse.  A rank-remap spreading step then
-de-clusters the solution before legalization.
+node, keeping the system sparse.
 
 Clock nets are excluded: a design-wide ideal clock would otherwise
 pull every flop to the centroid.
+
+This module is the stable entry point; the heavy lifting lives in
+:mod:`repro.place.system`.  :func:`quadratic_solve` builds a
+:class:`~repro.place.system.PlacementSystem` and solves it once —
+callers that solve the same movable/fixed split repeatedly (the
+bisection placer) hold on to the system instead and reuse its cached
+assembly, which is bit-identical by construction (same code path).
 """
 
 from __future__ import annotations
 
-import numpy as np
-import scipy.sparse as sp
-import scipy.sparse.linalg as spla
-
-from repro.errors import PlacementError
 from repro.netlist.netlist import Netlist
 from repro.place.floorplan import Floorplan
+from repro.place.system import (CENTER_REG, CLIQUE_LIMIT, NetConnectivity,
+                                PlacementSystem)
 
-#: Nets up to this degree use the pairwise clique model.
-CLIQUE_LIMIT = 4
-#: Tiny pull to die center so fully floating components stay solvable.
-CENTER_REG = 1e-6
+__all__ = ["CLIQUE_LIMIT", "CENTER_REG", "quadratic_solve"]
 
 
 def quadratic_solve(netlist: Netlist, fixed: dict[str, tuple[float, float]],
                     fp: Floorplan,
                     movable: list[str] | None = None,
                     anchors: dict[str, tuple[float, float]] | None = None,
-                    anchor_weight: float = 0.0
+                    anchor_weight: float = 0.0,
+                    conn: NetConnectivity | None = None
                     ) -> dict[str, tuple[float, float]]:
     """Solve for (x, y) of movable instances.
 
@@ -47,149 +48,12 @@ def quadratic_solve(netlist: Netlist, fixed: dict[str, tuple[float, float]],
         *anchors* is pulled toward that position with *anchor_weight*.
         Used by the iterative global placer to blend spreading back
         into the connectivity optimum.
+    conn:
+        Optional pre-built :class:`NetConnectivity` for *netlist*,
+        shared across solves to skip the per-call net walk.
 
-    Returns a dict instance name -> (x, y), unclamped (spreading and
+    Returns a dict instance name -> (x, y), unclamped (bisection and
     legalization handle the outline).
     """
-    if movable is None:
-        movable = [n for n in netlist.instances if n not in fixed]
-    if not movable:
-        return {}
-    index = {name: i for i, name in enumerate(movable)}
-    n_movable = len(movable)
-
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[float] = []
-    diag = np.full(n_movable, CENTER_REG, dtype=float)
-    bx = np.full(n_movable, CENTER_REG * fp.width / 2.0, dtype=float)
-    by = np.full(n_movable, CENTER_REG * fp.height / 2.0, dtype=float)
-
-    if anchors and anchor_weight > 0.0:
-        for name, (ax, ay) in anchors.items():
-            i = index.get(name)
-            if i is None:
-                continue
-            diag[i] += anchor_weight
-            bx[i] += anchor_weight * ax
-            by[i] += anchor_weight * ay
-
-    virtual_rows: list[dict[int, float]] = []  # star nodes, built later
-
-    def pin_key(pin) -> str:
-        if pin.owner is not None:
-            return pin.owner.name
-        return f"port:{pin.port.name}"
-
-    def add_edge(a_key: str, b_key: str, w: float) -> None:
-        ia = index.get(a_key)
-        ib = index.get(b_key)
-        if ia is not None and ib is not None:
-            diag[ia] += w
-            diag[ib] += w
-            rows.extend((ia, ib))
-            cols.extend((ib, ia))
-            vals.extend((-w, -w))
-        elif ia is not None:
-            pos = fixed.get(b_key)
-            if pos is None:
-                return
-            diag[ia] += w
-            bx[ia] += w * pos[0]
-            by[ia] += w * pos[1]
-        elif ib is not None:
-            pos = fixed.get(a_key)
-            if pos is None:
-                return
-            diag[ib] += w
-            bx[ib] += w * pos[0]
-            by[ib] += w * pos[1]
-
-    star_edges: list[tuple[int, list[tuple[str, float]]]] = []
-    n_virtual = 0
-    for net in netlist.signal_nets():
-        pins = net.pins()
-        deg = len(pins)
-        if deg < 2:
-            continue
-        keys = [pin_key(p) for p in pins]
-        if deg <= CLIQUE_LIMIT:
-            w = 1.0 / (deg - 1)
-            for i in range(deg):
-                for j in range(i + 1, deg):
-                    add_edge(keys[i], keys[j], w)
-        else:
-            w = 2.0 / deg
-            star_edges.append((n_virtual, [(k, w) for k in keys]))
-            n_virtual += 1
-
-    n_total = n_movable + n_virtual
-    if n_virtual:
-        diag = np.concatenate([diag, np.zeros(n_virtual)])
-        bx = np.concatenate([bx, np.zeros(n_virtual)])
-        by = np.concatenate([by, np.zeros(n_virtual)])
-        for v_idx, edges in star_edges:
-            vi = n_movable + v_idx
-            for key, w in edges:
-                ii = index.get(key)
-                if ii is not None:
-                    diag[vi] += w
-                    diag[ii] += w
-                    rows.extend((vi, ii))
-                    cols.extend((ii, vi))
-                    vals.extend((-w, -w))
-                else:
-                    pos = fixed.get(key)
-                    if pos is None:
-                        continue
-                    diag[vi] += w
-                    bx[vi] += w * pos[0]
-                    by[vi] += w * pos[1]
-            if diag[vi] == 0.0:
-                diag[vi] = 1.0  # fully disconnected star; keep SPD
-
-    lap = sp.coo_matrix(
-        (np.concatenate([np.array(vals, dtype=float), diag]),
-         (np.concatenate([np.array(rows, dtype=int),
-                          np.arange(n_total)]),
-          np.concatenate([np.array(cols, dtype=int),
-                          np.arange(n_total)]))),
-        shape=(n_total, n_total)).tocsc()
-    try:
-        solver = spla.factorized(lap)
-        xs = solver(bx)
-        ys = solver(by)
-    except RuntimeError as exc:  # pragma: no cover - singular fallback
-        raise PlacementError(f"quadratic system solve failed: {exc}") from exc
-
-    return {name: (float(xs[i]), float(ys[i])) for name, i in index.items()}
-
-
-def spread(positions: dict[str, tuple[float, float]], fp: Floorplan,
-           blend: float = 0.6) -> dict[str, tuple[float, float]]:
-    """Rank-remap spreading: de-cluster the quadratic solution.
-
-    Cells keep their relative x (and y) order but are re-mapped toward
-    a uniform distribution over the core area, blended with the
-    original position by *blend* (1.0 = fully uniform).  Deterministic
-    and order-preserving, which keeps connected cells near each other.
-    """
-    if not positions:
-        return {}
-    names = sorted(positions)
-    xs = np.array([positions[n][0] for n in names])
-    ys = np.array([positions[n][1] for n in names])
-    n = len(names)
-
-    def remap(vals: np.ndarray, lo: float, hi: float) -> np.ndarray:
-        order = np.argsort(vals, kind="stable")
-        target = np.empty(n)
-        slots = lo + (np.arange(n) + 0.5) * (hi - lo) / n
-        target[order] = slots
-        return (1.0 - blend) * vals + blend * target
-
-    margin = 1.0
-    new_x = remap(xs, margin, max(margin * 2, fp.width - margin))
-    new_y = remap(ys, margin, max(margin * 2, fp.core_height - margin))
-    return {name: (float(new_x[i]), float(new_y[i]))
-            for i, name in enumerate(names)}
+    system = PlacementSystem(netlist, fixed, fp, movable=movable, conn=conn)
+    return system.solve(anchors=anchors, anchor_weight=anchor_weight)

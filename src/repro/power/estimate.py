@@ -11,7 +11,7 @@ power rows show.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.design import Design
 from repro.power.domains import PowerPlan, default_power_plan, \

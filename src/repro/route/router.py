@@ -18,7 +18,7 @@ Routing policy per net (long nets first, as commercial routers prioritize):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.design import Design
 from repro.errors import RoutingError

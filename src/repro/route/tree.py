@@ -10,7 +10,7 @@ crossing of a 3-D net).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import RoutingError
 from repro.netlist.net import Pin

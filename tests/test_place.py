@@ -213,6 +213,52 @@ class TestPlacementContainer:
             assert x0 <= x1 and y0 <= y1
 
 
+#: HPWL of the original (pre cached-Laplacian) placer, captured once on
+#: the designs below.  The cached engine is free to pick different
+#: solver internals (and does — see repro.place.system), so positions
+#: are not seed-identical; quality must stay within tolerance instead.
+SEED_HPWL = {
+    "maeri16": 22290.639518144355,
+    "random_logic": 5799.924244786914,
+}
+#: Allowed relative HPWL regression vs the recorded seed placer.
+HPWL_TOL = 0.02
+
+
+class TestHpwlQualityRegression:
+    """Wirelength-quality gate for the cached-Laplacian engine."""
+
+    def _place_hpwl(self, nl):
+        tiers = partition_memory_on_logic(nl)
+        placement, _ = place_design(nl, tiers, SeedBundle(1234))
+        return placement.hpwl()
+
+    def test_maeri16_quality(self, hetero_tech):
+        nl = generate_maeri(MaeriConfig(pe_count=16, bandwidth=8),
+                            hetero_tech.libraries, SeedBundle(1234))
+        hpwl = self._place_hpwl(nl)
+        ref = SEED_HPWL["maeri16"]
+        assert hpwl <= ref * (1.0 + HPWL_TOL), \
+            f"HPWL {hpwl:.1f} regressed more than {HPWL_TOL:.0%} " \
+            f"vs seed placer {ref:.1f}"
+
+    def test_random_logic_quality(self, hetero_tech):
+        from repro.netlist.builder import NetlistBuilder
+        from repro.netlist.generators import random_cloud
+        builder = NetlistBuilder("randlogic", hetero_tech.libraries)
+        ins = [builder.input(f"i{k}") for k in range(12)]
+        outs = random_cloud(builder, ins, out_count=8, depth=12,
+                            width=40, rng=SeedBundle(1234).get("cloud"))
+        for net in outs:
+            builder.output(f"o_{net.name}", net)
+        nl = builder.done()
+        hpwl = self._place_hpwl(nl)
+        ref = SEED_HPWL["random_logic"]
+        assert hpwl <= ref * (1.0 + HPWL_TOL), \
+            f"HPWL {hpwl:.1f} regressed more than {HPWL_TOL:.0%} " \
+            f"vs seed placer {ref:.1f}"
+
+
 class TestBinSpread:
     def test_relieves_overfull_bin(self):
         nl = Netlist("dense")
