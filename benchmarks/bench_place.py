@@ -533,8 +533,10 @@ def main(argv: list[str] | None = None) -> int:
         for field, value in row.items():
             print(f"  {field:<28}{value}")
 
+    from repro.obs import metrics
     record = {"repeats": repeats, "smoke": args.smoke,
-              "cpu_count": cores, "designs": rows}
+              "cpu_count": cores, "designs": rows,
+              "metrics": metrics.snapshot()}
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {BENCH_JSON}")
 

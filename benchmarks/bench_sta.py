@@ -136,7 +136,9 @@ def main(argv: list[str] | None = None) -> int:
         for field, value in row.items():
             print(f"  {field:<32}{value}")
 
-    record = {"repeats": repeats, "smoke": args.smoke, "designs": rows}
+    from repro.obs import metrics
+    record = {"repeats": repeats, "smoke": args.smoke, "designs": rows,
+              "metrics": metrics.snapshot()}
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {BENCH_JSON}")
 

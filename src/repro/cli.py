@@ -9,12 +9,20 @@ congestion run a flow and print routing utilization + a heatmap
 export     generate a benchmark netlist and write structural Verilog
 list       list benchmark keys and selectors
 
+Every command also takes the observability flags (see
+:mod:`repro.obs`): ``--trace PATH`` records hierarchical spans to
+JSONL plus a ``chrome://tracing``-loadable sibling, ``--metrics PATH``
+dumps the run's counters/gauges/stats, and ``--log-level`` adjusts the
+structured ``repro`` logger (default ``info`` output is byte-identical
+to the historical prints).
+
 Examples
 --------
 python -m repro flow --benchmark maeri16_hetero --selector gnn
 python -m repro table --table 4
 python -m repro timing --benchmark a7_hetero --selector none --paths 3
 python -m repro export --benchmark maeri16_hetero --out maeri16.v
+python -m repro flow --selector none --trace run.jsonl --metrics run.json
 """
 
 from __future__ import annotations
@@ -26,7 +34,11 @@ from repro.core.flow import SELECTORS
 from repro.harness.designs import BENCHMARKS, DEFAULT_EXPERIMENT_SEED, \
     get_benchmark
 from repro.harness.tables import run_benchmark_flow
+from repro.obs import (LEVELS, chrome_trace_path, get_logger, metrics,
+                       set_log_level, trace)
 from repro.parallel import ParallelConfig
+
+log = get_logger("repro.cli")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -61,17 +73,30 @@ def _add_parallel(parser: argparse.ArgumentParser) -> None:
                         help="items per worker task (default: auto)")
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument("--trace", metavar="PATH", default=None,
+                       help="record hierarchical spans to PATH (JSONL) "
+                            "plus a chrome://tracing sibling "
+                            "(PATH with a .chrome.json suffix)")
+    group.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write the run's counters/gauges/stats "
+                            "to PATH as JSON")
+    group.add_argument("--log-level", default="info", choices=LEVELS,
+                       help="repro logger threshold (default: info)")
+
+
 def _parallel_config(args) -> ParallelConfig:
     return ParallelConfig(workers=args.workers, chunk_size=args.chunk_size)
 
 
 def _cmd_list(_args) -> int:
-    print("benchmarks:")
+    log.info("benchmarks:")
     for key, spec in sorted(BENCHMARKS.items()):
-        print(f"  {key:<18} {spec.paper_name:<28} "
-              f"@{spec.target_freq_mhz:.0f} MHz "
-              f"(paper {spec.paper_target_mhz:.0f})")
-    print(f"selectors: {', '.join(SELECTORS)}")
+        log.info(f"  {key:<18} {spec.paper_name:<28} "
+                 f"@{spec.target_freq_mhz:.0f} MHz "
+                 f"(paper {spec.paper_target_mhz:.0f})")
+    log.info(f"selectors: {', '.join(SELECTORS)}")
     return 0
 
 
@@ -81,10 +106,12 @@ def _cmd_flow(args) -> int:
                                 parallel=_parallel_config(args),
                                 place_region_parallel=
                                 args.place_region_parallel)
-    print(f"{spec.paper_name} — selector {args.selector}")
+    log.info(f"{spec.paper_name} — selector {args.selector}")
     for key, value in report.row().items():
-        print(f"  {key:<18} {value:>12.3f}" if isinstance(value, float)
-              else f"  {key:<18} {value:>12}")
+        log.info(f"  {key:<18} {value:>12.3f}" if isinstance(value, float)
+                 else f"  {key:<18} {value:>12}")
+    for stage, seconds in report.stage_runtime_s.items():
+        log.debug(f"  {stage:<22} {seconds:>10.3f} s")
     return 0
 
 
@@ -96,22 +123,22 @@ def _cmd_table(args) -> int:
     parallel = _parallel_config(args)
     if args.table == 1:
         for row in table1_single_net(args.seed):
-            print(row)
+            log.info("%s", row)
     elif args.table == 3:
         for strategy, row in table3_dft_comparison(
                 args.seed, parallel=parallel).items():
-            print(strategy, row)
+            log.info("%s %s", strategy, row)
     elif args.table in (4, 5, 6):
         builder = {4: table4_heterogeneous, 5: table5_homogeneous,
                    6: table6_testable}[args.table]
         columns = ["none", "gnn"] if args.table == 6 \
             else ["none", "sota", "gnn"]
         for bench, rows in builder(args.seed, parallel=parallel).items():
-            print(format_table(f"Table {args.table} ({bench})",
-                               columns, rows, _PPA_METRICS))
-            print()
+            log.info(format_table(f"Table {args.table} ({bench})",
+                                  columns, rows, _PPA_METRICS))
+            log.info("")
     else:
-        print(f"unknown table {args.table}", file=sys.stderr)
+        log.error(f"unknown table {args.table}")
         return 2
     return 0
 
@@ -123,7 +150,7 @@ def _cmd_timing(args) -> int:
                                 parallel=_parallel_config(args),
                                 place_region_parallel=
                                 args.place_region_parallel)
-    print(render_summary(report.final_sta, num_paths=args.paths))
+    log.info(render_summary(report.final_sta, num_paths=args.paths))
     return 0
 
 
@@ -135,10 +162,10 @@ def _cmd_congestion(args) -> int:
                                 place_region_parallel=
                                 args.place_region_parallel)
     routing = report.design.require_routing()
-    print(render_utilization(routing))
-    print()
+    log.info(render_utilization(routing))
+    log.info("")
     top = routing.grid.top_pair(0)
-    print(render_heatmap(routing, tier=0, pair=top))
+    log.info(render_heatmap(routing, tier=0, pair=top))
     return 0
 
 
@@ -148,8 +175,8 @@ def _cmd_export(args) -> int:
     netlist = spec.factory(spec.tech().libraries, spec.seeds(args.seed))
     write_verilog(netlist, args.out)
     stats = netlist.stats()
-    print(f"wrote {args.out}: {stats['instances']} instances, "
-          f"{stats['nets']} nets")
+    log.info(f"wrote {args.out}: {stats['instances']} instances, "
+             f"{stats['nets']} nets")
     return 0
 
 
@@ -158,7 +185,7 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro", description="GNN-MLS reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmarks and selectors")
+    listing = sub.add_parser("list", help="list benchmarks and selectors")
 
     flow = sub.add_parser("flow", help="run one flow, print its row")
     _add_common(flow)
@@ -182,7 +209,13 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(export)
     export.add_argument("--out", required=True)
 
+    for command in (listing, flow, table, timing, congestion, export):
+        _add_obs(command)
+
     args = parser.parse_args(argv)
+    set_log_level(args.log_level)
+    if args.trace:
+        trace.enable()
     handler = {
         "list": _cmd_list,
         "flow": _cmd_flow,
@@ -191,7 +224,19 @@ def main(argv: list[str] | None = None) -> int:
         "congestion": _cmd_congestion,
         "export": _cmd_export,
     }[args.command]
-    return handler(args)
+    code = handler(args)
+    if args.trace:
+        spans = trace.write_jsonl(args.trace)
+        chrome = chrome_trace_path(args.trace)
+        trace.write_chrome(chrome)
+        trace.disable()
+        trace.reset()
+        log.info(f"wrote {spans} spans to {args.trace} "
+                 f"(chrome: {chrome})")
+    if args.metrics:
+        metrics.write_json(args.metrics)
+        log.info(f"wrote metrics to {args.metrics}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

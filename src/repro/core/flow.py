@@ -12,9 +12,13 @@ from __future__ import annotations
 
 import hashlib
 import time
+import weakref
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+from repro.obs import metrics, trace
 
 from repro.design import Design, TechSetup
 from repro.errors import FlowError
@@ -107,7 +111,16 @@ class FlowReport:
     wirelength_m: float
     power: PowerReport
     pdn: Optional[PdnSizingResult]
-    selection_runtime_s: float
+    #: Selector + GNN-refine wall time only — the paper's Table V
+    #: "Run-Time (min)" column (as ``runtime_min`` in :meth:`row`).
+    select_runtime_s: float
+    #: Whole-flow wall time: prepare (even when the design came from
+    #: the prepare cache) through PDN.  Wall-clock, so deliberately
+    #: *not* part of :meth:`row` — rows must stay bit-identical.
+    runtime_s: float = 0.0
+    #: Per-stage wall time keyed by flow span name ("flow.prepare",
+    #: "flow.select", ...).  Same wall-clock caveat as ``runtime_s``.
+    stage_runtime_s: dict[str, float] = field(default_factory=dict)
     coverage_pct: Optional[float] = None
     total_faults: Optional[int] = None
     detected_faults: Optional[int] = None
@@ -123,7 +136,7 @@ class FlowReport:
             "tns_ns": sta.tns_ns,
             "vio_paths": sta.num_violating,
             "mls_nets": len(self.applied_mls),
-            "runtime_min": self.selection_runtime_s / 60.0,
+            "runtime_min": self.select_runtime_s / 60.0,
             "power_mw": self.power.total_mw,
             "ls_power_mw": self.power.level_shifter_mw,
             "eff_freq_mhz": sta.effective_freq_mhz(),
@@ -140,21 +153,67 @@ class FlowReport:
         return out
 
 
+@contextmanager
+def _stage(name: str, stages: dict[str, float], **attrs):
+    """One flow stage: a trace span plus an always-on wall-time entry
+    in *stages* (the FlowReport.stage_runtime_s breakdown)."""
+    with trace.span(name, **attrs):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            stages[name] = stages.get(name, 0.0) \
+                + time.perf_counter() - t0
+
+
+#: Side-channel for each prepared design's wall time: run_flow folds
+#: it into FlowReport.runtime_s even when the design was prepared
+#: out-of-band (the cache, the table harness).  Deliberately NOT
+#: stored on the design — prepared designs must stay byte-identical
+#: under pickling regardless of how long preparation took.
+_PREPARE_RUNTIME: "weakref.WeakKeyDictionary[Design, float]" = \
+    weakref.WeakKeyDictionary()
+
+
+def prepare_runtime_s(design: Design) -> float:
+    """Wall seconds spent preparing *design* (0.0 if unknown)."""
+    try:
+        return _PREPARE_RUNTIME.get(design, 0.0)
+    except TypeError:               # non-weakref-able test stand-ins
+        return 0.0
+
+
+def _note_prepare_runtime(design: Design, seconds: float) -> None:
+    try:
+        _PREPARE_RUNTIME[design] = seconds
+    except TypeError:               # non-weakref-able test stand-ins
+        pass
+
+
 def prepare_design(factory: NetlistFactory, tech: TechSetup,
                    seeds: SeedBundle, config: FlowConfig) -> Design:
     """Stages shared by every selector: generate through buffering."""
-    netlist = factory(tech.libraries, seeds)
-    design = Design(netlist, tech, config.target_freq_mhz)
-    design.tiers = partition_memory_on_logic(netlist)
-    design.placement, design.floorplan = place_design(
-        netlist, design.tiers, seeds, parallel=config.parallel,
-        region_parallel=config.place_region_parallel)
-    plan = default_power_plan(design)
-    insert_level_shifters(design, plan)
-    if config.with_scan:
-        from repro.dft.scan import insert_scan
-        insert_scan(design)
-    insert_buffers(design)
+    t0 = time.perf_counter()
+    with trace.span("flow.prepare"):
+        with trace.span("prepare.generate"):
+            netlist = factory(tech.libraries, seeds)
+        design = Design(netlist, tech, config.target_freq_mhz)
+        with trace.span("prepare.partition"):
+            design.tiers = partition_memory_on_logic(netlist)
+        with trace.span("prepare.place"):
+            design.placement, design.floorplan = place_design(
+                netlist, design.tiers, seeds, parallel=config.parallel,
+                region_parallel=config.place_region_parallel)
+        with trace.span("prepare.level_shifters"):
+            plan = default_power_plan(design)
+            insert_level_shifters(design, plan)
+        if config.with_scan:
+            from repro.dft.scan import insert_scan
+            with trace.span("prepare.scan"):
+                insert_scan(design)
+        with trace.span("prepare.buffer"):
+            insert_buffers(design)
+    _note_prepare_runtime(design, time.perf_counter() - t0)
     return design
 
 
@@ -195,14 +254,21 @@ def prepare_design_cached(factory: NetlistFactory, tech: TechSetup,
     region-parallel placement), which is exactly the cache key.
     """
     key = _prepare_cache_key(factory, tech, seeds, config)
+    t0 = time.perf_counter()
     if key in _PREPARE_CACHE:
+        metrics.inc("prepare.cache_hits")
         _PREPARE_CACHE.move_to_end(key)
     else:
+        metrics.inc("prepare.cache_misses")
         _PREPARE_CACHE[key] = dumps_snapshot(
             prepare_design(factory, tech, seeds, config))
         while len(_PREPARE_CACHE) > PREPARE_CACHE_MAX_ENTRIES:
             _PREPARE_CACHE.popitem(last=False)
-    return loads_snapshot(_PREPARE_CACHE[key])
+    design = loads_snapshot(_PREPARE_CACHE[key])
+    # What *this* call paid — an unpickle on a hit, build + pickle +
+    # unpickle on a miss.
+    _note_prepare_runtime(design, time.perf_counter() - t0)
+    return design
 
 
 def clear_prepare_cache() -> None:
@@ -251,64 +317,93 @@ def run_flow(factory: NetlistFactory, tech: TechSetup,
     to skip the partition/place/buffer stages; it must have been
     prepared with the same factory/tech/seeds/config.
     """
-    if design is None:
-        design = prepare_design(factory, tech, seeds, config)
+    stages: dict[str, float] = {}
+    # A design prepared out-of-band (prepare_design_cached, the table
+    # harness) carries its own wall time; fold it into the whole-flow
+    # runtime so FlowReport.runtime_s never undercounts preparation.
+    prepare_ext_s = 0.0
+    if design is not None:
+        prepare_ext_s = prepare_runtime_s(design)
+        stages["flow.prepare"] = prepare_ext_s
+    t_flow = time.perf_counter()
+    with trace.span("flow", selector=config.selector,
+                    scan=config.with_scan,
+                    workers=config.parallel.workers):
+        if design is None:
+            design = prepare_design(factory, tech, seeds, config)
+            stages["flow.prepare"] = prepare_runtime_s(design)
 
-    router, baseline = route_with_mls(design, set(), config.route,
-                                      parallel=config.parallel)
-    # The pin graph's structure is routing-invariant: build it once,
-    # then patch arc delays incrementally after every reroute instead
-    # of re-running full STA (the refine loop's former hot spot).
-    timing = IncrementalSta(design)
-    base_report = timing.report()
+        with _stage("flow.route_baseline", stages):
+            router, baseline = route_with_mls(design, set(), config.route,
+                                              parallel=config.parallel)
+        # The pin graph's structure is routing-invariant: build it once,
+        # then patch arc delays incrementally after every reroute instead
+        # of re-running full STA (the refine loop's former hot spot).
+        with _stage("flow.sta_baseline", stages):
+            timing = IncrementalSta(design)
+            base_report = timing.report()
 
-    requested, runtime_s, model = select_nets(
-        design, router, baseline, base_report, seeds, config, sta=timing)
+        with _stage("flow.select", stages, selector=config.selector):
+            requested, runtime_s, model = select_nets(
+                design, router, baseline, base_report, seeds, config,
+                sta=timing)
 
-    router, routing = route_with_mls(design, requested, config.route,
-                                     parallel=config.parallel)
-    final_report = timing.update_routing()
-
-    if config.selector == "gnn" and model is not None:
-        from repro.core.hypergraph import build_path_graph
-        from repro.timing.paths import extract_worst_paths
-        start = time.perf_counter()
-        for _ in range(config.gnn_refine_iters):
-            paths = extract_worst_paths(final_report, k=config.num_paths)
-            graphs = [build_path_graph(p, model.dataset.extractor)
-                      for p in paths if len(p.stages()) >= 2]
-            probs = model.net_probabilities(graphs)
-            new = {name for name, p in probs.items()
-                   if p >= config.decision_threshold} - requested
-            if not new:
-                break
-            requested |= new
+        with _stage("flow.route_mls", stages, nets=len(requested)):
             router, routing = route_with_mls(design, requested,
                                              config.route,
                                              parallel=config.parallel)
             final_report = timing.update_routing()
-        runtime_s += time.perf_counter() - start
 
-    coverage = total = detected = None
-    if config.dft_strategy is not None:
-        from repro.dft.mls_dft import apply_mls_dft, die_test_fault_sim
-        apply_mls_dft(design, router, routing, config.dft_strategy)
-        # DFT edits the netlist structurally (muxes, observe flops,
-        # net splits) — outside the incremental contract, so rebuild.
-        final_report = run_sta(design)
-        sim = die_test_fault_sim(design, seeds.fresh("die-test"),
-                                 patterns=config.dft_patterns,
-                                 with_dft=True,
-                                 max_faults=config.dft_max_faults,
-                                 parallel=config.parallel)
-        coverage = sim.coverage_pct
-        total = sim.total_faults
-        detected = sim.detected_total
+        if config.selector == "gnn" and model is not None:
+            from repro.core.hypergraph import build_path_graph
+            from repro.timing.paths import extract_worst_paths
+            with _stage("flow.refine", stages):
+                start = time.perf_counter()
+                for _ in range(config.gnn_refine_iters):
+                    paths = extract_worst_paths(final_report,
+                                                k=config.num_paths)
+                    graphs = [build_path_graph(p, model.dataset.extractor)
+                              for p in paths if len(p.stages()) >= 2]
+                    probs = model.net_probabilities(graphs)
+                    new = {name for name, p in probs.items()
+                           if p >= config.decision_threshold} - requested
+                    if not new:
+                        break
+                    requested |= new
+                    router, routing = route_with_mls(design, requested,
+                                                     config.route,
+                                                     parallel=config.parallel)
+                    final_report = timing.update_routing()
+                runtime_s += time.perf_counter() - start
 
-    plan = default_power_plan(design)
-    power = estimate_power(design, plan, activity=config.activity)
-    pdn = size_pdn(design, plan=plan) if config.pdn else None
+        coverage = total = detected = None
+        if config.dft_strategy is not None:
+            from repro.dft.mls_dft import apply_mls_dft, die_test_fault_sim
+            with _stage("flow.dft", stages,
+                        strategy=config.dft_strategy):
+                apply_mls_dft(design, router, routing, config.dft_strategy)
+                # DFT edits the netlist structurally (muxes, observe
+                # flops, net splits) — outside the incremental
+                # contract, so rebuild.
+                final_report = run_sta(design)
+                sim = die_test_fault_sim(design, seeds.fresh("die-test"),
+                                         patterns=config.dft_patterns,
+                                         with_dft=True,
+                                         max_faults=config.dft_max_faults,
+                                         parallel=config.parallel)
+                coverage = sim.coverage_pct
+                total = sim.total_faults
+                detected = sim.detected_total
 
+        with _stage("flow.power", stages):
+            plan = default_power_plan(design)
+            power = estimate_power(design, plan, activity=config.activity)
+        pdn = None
+        if config.pdn:
+            with _stage("flow.pdn", stages):
+                pdn = size_pdn(design, plan=plan)
+
+    metrics.inc("flow.runs")
     return FlowReport(
         design=design,
         config=config,
@@ -319,7 +414,9 @@ def run_flow(factory: NetlistFactory, tech: TechSetup,
         wirelength_m=routing.wirelength_um() * 1e-6,
         power=power,
         pdn=pdn,
-        selection_runtime_s=runtime_s,
+        select_runtime_s=runtime_s,
+        runtime_s=prepare_ext_s + time.perf_counter() - t_flow,
+        stage_runtime_s=stages,
         coverage_pct=coverage,
         total_faults=total,
         detected_faults=detected,

@@ -1,0 +1,51 @@
+"""Zero-dependency observability: spans, counters, structured logs.
+
+The flow is performance-engineered end to end (process pool, wavefront
+router, incremental STA, cached-Laplacian placer) but was a black box
+at runtime — two ad-hoc ``perf_counter`` windows in ``run_flow`` and
+nothing else.  This package is the measurement substrate:
+
+* :mod:`repro.obs.tracer` — hierarchical **spans**
+  (``with trace.span("place.solve", level=k):``) that nest, carry
+  key=value attributes, and serialize to JSONL plus the Chrome
+  ``chrome://tracing`` / Perfetto trace-event format.  Pool workers
+  collect their spans locally and the parent merges them with correct
+  parent-span ids (see :meth:`Tracer.collect_worker`).
+* :mod:`repro.obs.metrics` — process-wide **counters / gauges /
+  stats** (nets routed, wave packing sizes, STA arc propagations,
+  incremental frontier sizes, prepare/LRU cache hits, pool task
+  counts and latencies) aggregated into one run-level dict.
+* :mod:`repro.obs.log` — the structured ``repro`` logger replacing
+  scattered prints: bare messages on stdout at the default level
+  (byte-identical to the prints it replaced), WARNING and above on
+  stderr, level switchable via ``--log-level``.
+* :mod:`repro.obs.schema` — validators for the trace/metrics file
+  formats, shared by the test suite and the CI smoke job.
+
+Contracts:
+
+* **Off by default with a no-op fast path** — ``trace`` is a
+  module-level singleton whose ``span()`` returns a shared null
+  context manager while disabled; the counters are plain dict
+  increments.  The instrumented hot paths stay within noise of the
+  un-instrumented code (locked loosely by ``tests/test_obs.py``).
+* **Determinism-safe** — nothing in here feeds back into any
+  computation.  All golden fixtures and bit-identical equivalence
+  tests pass unchanged with tracing enabled; wall-clock values live
+  only in trace/metrics output, never in ``FlowReport.row()``.
+"""
+
+from repro.obs.log import LEVELS, get_logger, set_log_level
+from repro.obs.metrics import MetricsRegistry, metrics
+from repro.obs.tracer import Tracer, chrome_trace_path, trace
+
+__all__ = [
+    "LEVELS",
+    "MetricsRegistry",
+    "Tracer",
+    "chrome_trace_path",
+    "get_logger",
+    "metrics",
+    "set_log_level",
+    "trace",
+]

@@ -1,0 +1,70 @@
+"""The structured ``repro`` logger.
+
+Replaces the scattered ``print(`` calls: user-facing CLI output goes
+through ``get_logger(...).info(...)``, diagnostics through ``debug``,
+degradation notices through ``warning``.  The handler is deliberately
+minimal so that at the default level (INFO) stdout is **byte-identical**
+to the prints it replaced — bare ``%(message)s``, no timestamps or
+level prefixes — while still honouring ``--log-level``:
+
+* records below WARNING write to ``sys.stdout``;
+* WARNING and above write to ``sys.stderr``;
+* both streams are resolved at emit time, so pytest's ``capsys`` and
+  other stream swaps capture correctly.
+
+``logging.getLogger("repro")`` owns the handler with
+``propagate=False`` — applications embedding repro can remove it and
+route the ``repro.*`` hierarchy through their own logging config.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+LEVELS = ("debug", "info", "warning", "error")
+
+_CONFIGURED = False
+
+
+class _StreamSplitHandler(logging.Handler):
+    """Message-only handler: INFO/DEBUG -> stdout, WARNING+ -> stderr,
+    streams looked up per record."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            msg = self.format(record)
+            stream = sys.stderr if record.levelno >= logging.WARNING \
+                else sys.stdout
+            stream.write(msg + "\n")
+        except Exception:  # pragma: no cover - logging must never raise
+            self.handleError(record)
+
+
+def _configure() -> logging.Logger:
+    global _CONFIGURED
+    root = logging.getLogger("repro")
+    if not _CONFIGURED:
+        handler = _StreamSplitHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        root.propagate = False
+        _CONFIGURED = True
+    return root
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """A logger under the configured ``repro`` hierarchy."""
+    _configure()
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def set_log_level(level: str) -> None:
+    """Set the hierarchy level from a ``--log-level`` string."""
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; "
+                         f"choose from {LEVELS}")
+    _configure().setLevel(getattr(logging, level.upper()))

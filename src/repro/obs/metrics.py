@@ -1,0 +1,95 @@
+"""Run-level counters, gauges and scalar stats.
+
+One module-level :data:`metrics` registry per process.  Updates are
+plain dict operations — always on, cheap enough for the hot loops
+that feed them (one increment per routed net, one per STA update).
+Pool *workers* run in separate processes; their registries are local
+and discarded, so every wired call site counts at the parent-side
+commit/merge point (the wavefront merge, the chunk result drain) —
+worker-interior timing detail travels through span collection instead
+(:mod:`repro.obs.tracer`).
+
+Three families:
+
+* **counters** — monotonically increasing totals (``inc``);
+* **gauges**  — last-write-wins values (``set_gauge``);
+* **stats**   — scalar distributions kept as count/total/min/max
+  (``observe``; ``add_time`` is the seconds-valued convenience).
+
+``snapshot()`` returns the aggregate dict benchmarks attach to their
+``BENCH_*.json`` records; ``write_json()`` is what ``--metrics PATH``
+dumps.  Nothing here is read back by any computation — metrics are
+determinism-safe by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+class MetricsRegistry:
+    """Process-wide metric aggregation; see the module docstring."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        #: name -> [count, total, min, max]
+        self._stats: dict[str, list[float]] = {}
+
+    # -- updates -------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        stat = self._stats.get(name)
+        if stat is None:
+            self._stats[name] = [1, value, value, value]
+        else:
+            stat[0] += 1
+            stat[1] += value
+            if value < stat[2]:
+                stat[2] = value
+            if value > stat[3]:
+                stat[3] = value
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Seconds-valued :meth:`observe`; name by convention ``*_s``."""
+        self.observe(name, seconds)
+
+    # -- reads ---------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """The whole registry as one sorted, JSON-ready dict."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "stats": {
+                name: {"count": stat[0], "total": stat[1],
+                       "min": stat[2], "max": stat[3],
+                       "mean": stat[1] / stat[0]}
+                for name, stat in sorted(self._stats.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._stats.clear()
+
+    def write_json(self, path: str | Path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True,
+                      default=str)
+            fh.write("\n")
+
+
+#: The process-wide registry.  Import it, don't construct your own.
+metrics = MetricsRegistry()

@@ -1,0 +1,167 @@
+"""Trace/metrics file-format validators.
+
+Shared by ``tests/test_obs.py`` and the CI observability smoke job::
+
+    PYTHONPATH=src python -m repro.obs.schema TRACE.jsonl \\
+        TRACE.chrome.json METRICS.json
+
+Each validator raises :class:`ValueError` with a pinpointed message on
+the first malformed record and returns a small summary on success, so
+both pytest assertions and the CLI entry point get real diagnostics.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Keys every JSONL span record must carry.
+SPAN_KEYS = frozenset(
+    {"name", "id", "parent", "pid", "ts_us", "dur_us", "attrs"})
+
+#: Keys every Chrome trace event must carry.
+CHROME_KEYS = frozenset({"name", "cat", "ph", "ts", "dur", "pid", "tid",
+                         "args"})
+
+#: Top-level sections of a metrics dump.
+METRICS_SECTIONS = ("counters", "gauges", "stats")
+
+_STAT_FIELDS = frozenset({"count", "total", "min", "max", "mean"})
+
+
+def _is_num(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_trace_jsonl(path: str | Path) -> dict:
+    """Validate a JSONL span trace; returns {spans, roots, pids}.
+
+    Checks per record: required keys, numeric non-negative timing,
+    string ids.  Checks globally: ids unique, every non-null parent
+    resolves to a recorded span id (worker merges must re-root
+    correctly — a dangling parent means a broken merge).
+    """
+    ids: set[str] = set()
+    parents: list[tuple[int, str]] = []
+    pids: set[int] = set()
+    roots = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") \
+                    from None
+            if not isinstance(rec, dict):
+                raise ValueError(f"{path}:{lineno}: record is not an object")
+            missing = SPAN_KEYS - rec.keys()
+            if missing:
+                raise ValueError(
+                    f"{path}:{lineno}: missing keys {sorted(missing)}")
+            if not isinstance(rec["name"], str) or not rec["name"]:
+                raise ValueError(f"{path}:{lineno}: bad span name")
+            if not isinstance(rec["id"], str) or not rec["id"]:
+                raise ValueError(f"{path}:{lineno}: bad span id")
+            if rec["id"] in ids:
+                raise ValueError(
+                    f"{path}:{lineno}: duplicate span id {rec['id']!r}")
+            ids.add(rec["id"])
+            if rec["parent"] is None:
+                roots += 1
+            elif isinstance(rec["parent"], str):
+                parents.append((lineno, rec["parent"]))
+            else:
+                raise ValueError(f"{path}:{lineno}: bad parent id")
+            if not _is_num(rec["ts_us"]) or rec["ts_us"] < 0:
+                raise ValueError(f"{path}:{lineno}: bad ts_us")
+            if not _is_num(rec["dur_us"]) or rec["dur_us"] < 0:
+                raise ValueError(f"{path}:{lineno}: bad dur_us")
+            if not isinstance(rec["pid"], int):
+                raise ValueError(f"{path}:{lineno}: bad pid")
+            if not isinstance(rec["attrs"], dict):
+                raise ValueError(f"{path}:{lineno}: attrs not an object")
+            pids.add(rec["pid"])
+    for lineno, parent in parents:
+        if parent not in ids:
+            raise ValueError(
+                f"{path}:{lineno}: parent {parent!r} references no "
+                f"recorded span (broken worker merge?)")
+    return {"spans": len(ids), "roots": roots, "pids": len(pids)}
+
+
+def validate_chrome_trace(path: str | Path) -> dict:
+    """Validate a Chrome trace-event file; returns {events, pids}."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError(f"{path}: no traceEvents section")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: traceEvents is not a list")
+    pids: set[int] = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"{path}: event {i} is not an object")
+        missing = CHROME_KEYS - event.keys()
+        if missing:
+            raise ValueError(
+                f"{path}: event {i} missing keys {sorted(missing)}")
+        if event["ph"] != "X":
+            raise ValueError(f"{path}: event {i} has phase "
+                             f"{event['ph']!r}, expected complete 'X'")
+        if not _is_num(event["ts"]) or event["ts"] < 0:
+            raise ValueError(f"{path}: event {i} bad ts")
+        if not _is_num(event["dur"]) or event["dur"] < 0:
+            raise ValueError(f"{path}: event {i} bad dur")
+        pids.add(event["pid"])
+    return {"events": len(events), "pids": len(pids)}
+
+
+def validate_metrics(path: str | Path) -> dict:
+    """Validate a metrics dump; returns {counters, gauges, stats}."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    for section in METRICS_SECTIONS:
+        if section not in payload or not isinstance(payload[section], dict):
+            raise ValueError(f"{path}: missing section {section!r}")
+    for family in ("counters", "gauges"):
+        for name, value in payload[family].items():
+            if not _is_num(value):
+                raise ValueError(
+                    f"{path}: {family}[{name!r}] is not numeric")
+    for name, stat in payload["stats"].items():
+        if not isinstance(stat, dict) or _STAT_FIELDS - stat.keys():
+            raise ValueError(f"{path}: stats[{name!r}] missing fields")
+        for field in _STAT_FIELDS:
+            if not _is_num(stat[field]):
+                raise ValueError(
+                    f"{path}: stats[{name!r}][{field}] is not numeric")
+        if stat["count"] < 1 or stat["min"] > stat["max"]:
+            raise ValueError(f"{path}: stats[{name!r}] is inconsistent")
+    return {section: len(payload[section]) for section in METRICS_SECTIONS}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: validate trace JSONL [chrome JSON [metrics JSON]]."""
+    args = sys.argv[1:] if argv is None else argv
+    if not args or len(args) > 3:
+        print("usage: python -m repro.obs.schema TRACE.jsonl "
+              "[TRACE.chrome.json [METRICS.json]]", file=sys.stderr)
+        return 2
+    validators = (validate_trace_jsonl, validate_chrome_trace,
+                  validate_metrics)
+    try:
+        for path, validator in zip(args, validators):
+            summary = validator(path)
+            print(f"{path}: OK {summary}")
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""Hierarchical span tracing with a null fast path.
+
+One module-level :data:`trace` singleton serves the whole process.
+While disabled (the default) ``trace.span(...)`` returns a shared
+no-op context manager — no allocation, no clock reads — so the
+instrumented hot paths cost a single attribute check.  While enabled,
+spans nest via an explicit stack, carry key=value attributes, and
+accumulate as flat dict records that serialize to
+
+* **JSONL** — one record per line:
+  ``{"name", "id", "parent", "pid", "ts_us", "dur_us", "attrs"}``
+  with ``parent`` the enclosing span's id (or ``None`` for roots);
+* **Chrome trace-event JSON** — complete (``"ph": "X"``) events
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev, one
+  timeline row per process id, so merged pool-worker spans show up as
+  their own lanes under the parent flow.
+
+Pool workers run in separate processes: the parent ships the active
+span id with each task (:meth:`Tracer.export_parent`), the worker
+wraps its chunk in :meth:`Tracer.collect_worker` — which records into
+a fresh buffer rooted at that parent id — and returns the buffer for
+the parent to :meth:`Tracer.merge`.  Span ids are ``"<pid>-<seq>"``
+so ids never collide across processes, and the in-process serial
+fallback (same pid, monotonic seq) stays collision-free too.
+
+Timestamps are wall-clock microseconds (comparable across processes);
+durations come from ``perf_counter_ns``.  Nothing here is read back
+by any computation — tracing is determinism-safe by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+
+class _NullSpan:
+    """Shared no-op span: the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; created only while the tracer is enabled."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
+                 "ts_us", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        t = self._tracer
+        self.parent_id = t._stack[-1] if t._stack else t._root_parent
+        self.span_id = t._next_id()
+        t._stack.append(self.span_id)
+        self.ts_us = time.time_ns() // 1000
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def set(self, **attrs) -> "_Span":
+        """Attach attributes discovered mid-span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        dur_us = (time.perf_counter_ns() - self._t0) / 1000.0
+        t = self._tracer
+        t._stack.pop()
+        t._records.append({
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "pid": t._pid,
+            "ts_us": self.ts_us,
+            "dur_us": round(dur_us, 3),
+            "attrs": self.attrs,
+        })
+        return False
+
+
+class Tracer:
+    """Span recorder; see the module docstring for the model."""
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._records: list[dict] = []
+        self._stack: list[str] = []
+        #: Parent id grafted onto stack-root spans (worker collection).
+        self._root_parent: str | None = None
+        self._seq = 0
+        self._pid = os.getpid()
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._pid = os.getpid()
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans (the seq counter keeps running so
+        ids stay unique across resets)."""
+        self._records = []
+        self._stack = []
+        self._root_parent = None
+
+    @property
+    def records(self) -> list[dict]:
+        """The recorded span dicts, in completion order."""
+        return self._records
+
+    def _next_id(self) -> str:
+        self._seq += 1
+        return f"{self._pid:x}-{self._seq:x}"
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Context manager for one span; a shared no-op when disabled.
+
+        Attribute values must be JSON-representable scalars (str, int,
+        float, bool) — they go straight into the trace output.
+        """
+        if not self._enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    # -- cross-process collection --------------------------------------------
+
+    def export_parent(self) -> str | None:
+        """Token shipped with pool tasks.
+
+        ``None`` means tracing is off (workers skip collection
+        entirely); the empty string means on-but-no-active-span.
+        """
+        if not self._enabled:
+            return None
+        return self._stack[-1] if self._stack else ""
+
+    @contextmanager
+    def collect_worker(self, parent_id: str):
+        """Record spans into a fresh buffer rooted at *parent_id*.
+
+        Used around a worker-side chunk: whatever tracer state the
+        process inherited (fork copies the parent's live tracer) is
+        parked, spans collect into the yielded list with stack roots
+        parented to *parent_id*, and the prior state is restored so
+        persistent pool workers stay clean between chunks.  The seq
+        counter is never rewound — combined with the per-process pid
+        prefix that keeps ids unique in both the forked and the
+        in-process serial-fallback case.
+        """
+        saved = (self._enabled, self._records, self._stack,
+                 self._root_parent, self._pid)
+        self._enabled = True
+        self._records = records = []
+        self._stack = []
+        self._root_parent = parent_id or None
+        self._pid = os.getpid()
+        try:
+            yield records
+        finally:
+            (self._enabled, self._records, self._stack,
+             self._root_parent, self._pid) = saved
+
+    def merge(self, records: list[dict]) -> None:
+        """Append worker-collected span records to this tracer."""
+        self._records.extend(records)
+
+    # -- serialization -------------------------------------------------------
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Write one span record per line; returns the record count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in self._records:
+                fh.write(json.dumps(rec, sort_keys=True, default=str))
+                fh.write("\n")
+        return len(self._records)
+
+    def write_chrome(self, path: str | Path) -> int:
+        """Write the Chrome trace-event view; returns the event count.
+
+        Timestamps are rebased to the earliest span so the timeline
+        opens at t=0 in ``chrome://tracing`` / Perfetto.
+        """
+        base = min((rec["ts_us"] for rec in self._records), default=0)
+        events = [{
+            "name": rec["name"],
+            "cat": rec["name"].split(".", 1)[0],
+            "ph": "X",
+            "ts": rec["ts_us"] - base,
+            "dur": rec["dur_us"],
+            "pid": rec["pid"],
+            "tid": rec["pid"],
+            "args": rec["attrs"],
+        } for rec in self._records]
+        payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, default=str)
+            fh.write("\n")
+        return len(events)
+
+
+def chrome_trace_path(jsonl_path: str | Path) -> Path:
+    """The Chrome-format sibling of a JSONL trace path
+    (``run.jsonl`` -> ``run.chrome.json``)."""
+    return Path(jsonl_path).with_suffix(".chrome.json")
+
+
+#: The process-wide tracer.  Import it, don't construct your own.
+trace = Tracer()

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-import logging
 import os
 from dataclasses import dataclass
 
-logger = logging.getLogger(__name__)
+from repro.obs import get_logger, metrics
+
+logger = get_logger("repro.parallel")
 
 #: Set once the single-core degradation notice has been emitted, so a
 #: sweep with thousands of should_parallelize calls logs it one time.
@@ -79,6 +80,7 @@ class ParallelConfig:
             return False
         if usable_cores() <= 1:
             global _DEGRADE_LOGGED
+            metrics.inc("pool.single_core_degrades")
             if not _DEGRADE_LOGGED:
                 _DEGRADE_LOGGED = True
                 logger.warning(

@@ -24,10 +24,12 @@ from __future__ import annotations
 import multiprocessing as mp
 import pickle
 import sys
+import time
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import metrics, trace
 from repro.parallel.config import ParallelConfig
 
 T = TypeVar("T")
@@ -91,21 +93,57 @@ def _init_fork_worker() -> None:
     _WORKER_STATE = _FORK_SNAPSHOT
 
 
-def _run_chunk(fn: Callable[[Any, list], list], chunk: list) -> list:
-    return fn(_WORKER_STATE, chunk)
+def _run_chunk(fn: Callable[[Any, list], list], chunk: list,
+               trace_parent: str | None = None):
+    """Worker-side chunk runner.
+
+    *trace_parent* is the parent's active-span token
+    (:meth:`repro.obs.tracer.Tracer.export_parent`): ``None`` means
+    tracing is off and the bare result list is returned; otherwise the
+    chunk runs under a worker-local span collection and ``(results,
+    span records)`` travels back for the parent to merge.
+    """
+    if trace_parent is None:
+        return fn(_WORKER_STATE, chunk)
+    with trace.collect_worker(trace_parent) as records:
+        with trace.span("pool.chunk", items=len(chunk)):
+            out = fn(_WORKER_STATE, chunk)
+    return out, records
 
 
 def _serial_run(fn: Callable[[Any, list], list], state: Any,
                 chunks: list[list]) -> list:
     out: list = []
     for chunk in chunks:
-        out.extend(fn(state, chunk))
+        with trace.span("pool.chunk", items=len(chunk), serial=True):
+            out.extend(fn(state, chunk))
     return out
 
 
 def _run_chunk_extra(fn: Callable[[Any, Any, list], list], extra: Any,
-                     chunk: list) -> list:
-    return fn(_WORKER_STATE, extra, chunk)
+                     chunk: list, trace_parent: str | None = None):
+    """Persistent-pool sibling of :func:`_run_chunk`."""
+    if trace_parent is None:
+        return fn(_WORKER_STATE, extra, chunk)
+    with trace.collect_worker(trace_parent) as records:
+        with trace.span("pool.chunk", items=len(chunk)):
+            out = fn(_WORKER_STATE, extra, chunk)
+    return out, records
+
+
+def _drain_futures(futures: list, traced: bool, t_dispatch: float) -> list:
+    """Collect chunk results in submission order, merging worker span
+    payloads and recording dispatch->drain latency per task."""
+    out: list = []
+    for future in futures:
+        result = future.result()
+        metrics.add_time("pool.task_latency_s",
+                         time.perf_counter() - t_dispatch)
+        if traced:
+            result, records = result
+            trace.merge(records)
+        out.extend(result)
+    return out
 
 
 class SnapshotPool:
@@ -145,6 +183,7 @@ class SnapshotPool:
         self.close()
 
     def _mark_broken(self, exc: BaseException, n_items: int) -> None:
+        metrics.inc("pool.degrade_events")
         warnings.warn(f"process pool unavailable ({exc!r}); running "
                       f"{n_items} items (and all later maps) serially",
                       RuntimeWarning, stacklevel=3)
@@ -169,6 +208,8 @@ class SnapshotPool:
                                              mp_context=ctx,
                                              initializer=init,
                                              initargs=initargs)
+            metrics.inc("pool.pools_started")
+            metrics.set_gauge("pool.workers", self.config.workers)
         except (BrokenExecutor, OSError) as exc:
             self._mark_broken(exc, n_items)
 
@@ -179,20 +220,26 @@ class SnapshotPool:
         if not work:
             return []
         chunks = chunked(work, self.config.resolve_chunk_size(len(work)))
+        metrics.inc("pool.maps")
+        metrics.inc("pool.items", len(work))
+        metrics.inc("pool.tasks", len(chunks))
         self._ensure_pool(len(work))
         if self._pool is not None:
+            tparent = trace.export_parent()
+            t_dispatch = time.perf_counter()
             try:
                 futures = [self._pool.submit(_run_chunk_extra, fn, extra,
-                                             chunk) for chunk in chunks]
-                out: list = []
-                for future in futures:
-                    out.extend(future.result())
-                return out
+                                             chunk, tparent)
+                           for chunk in chunks]
+                return _drain_futures(futures, tparent is not None,
+                                      t_dispatch)
             except (BrokenExecutor, OSError) as exc:
                 self._mark_broken(exc, len(work))
+        metrics.inc("pool.serial_tasks", len(chunks))
         out = []
         for chunk in chunks:
-            out.extend(fn(self.snapshot, extra, chunk))
+            with trace.span("pool.chunk", items=len(chunk), serial=True):
+                out.extend(fn(self.snapshot, extra, chunk))
         return out
 
     def close(self) -> None:
@@ -220,7 +267,11 @@ def snapshot_map(fn: Callable[[Any, list], list], items: Iterable,
     if not work:
         return []
     chunks = chunked(work, config.resolve_chunk_size(len(work)))
+    metrics.inc("pool.maps")
+    metrics.inc("pool.items", len(work))
+    metrics.inc("pool.tasks", len(chunks))
     if not config.should_parallelize(len(work)):
+        metrics.inc("pool.serial_tasks", len(chunks))
         return _serial_run(fn, snapshot, chunks)
     ctx = mp.get_context(config.start_method)   # bad method -> ValueError
     global _FORK_SNAPSHOT
@@ -236,16 +287,19 @@ def snapshot_map(fn: Callable[[Any, list], list], items: Iterable,
                                  mp_context=ctx,
                                  initializer=init,
                                  initargs=initargs) as pool:
-            futures = [pool.submit(_run_chunk, fn, chunk)
+            metrics.inc("pool.pools_started")
+            metrics.set_gauge("pool.workers", config.workers)
+            tparent = trace.export_parent()
+            t_dispatch = time.perf_counter()
+            futures = [pool.submit(_run_chunk, fn, chunk, tparent)
                        for chunk in chunks]
-            out: list = []
-            for future in futures:
-                out.extend(future.result())
-            return out
+            return _drain_futures(futures, tparent is not None,
+                                  t_dispatch)
     except (BrokenExecutor, OSError) as exc:
         # Pool-level failure (sandbox, resource limits, dead workers):
         # degrade to serial.  Exceptions raised *inside* fn are not of
         # these types and propagate to the caller.
+        metrics.inc("pool.degrade_events")
         warnings.warn(f"process pool unavailable ({exc!r}); "
                       f"running {len(work)} items serially",
                       RuntimeWarning, stacklevel=2)

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.errors import PlacementError
 from repro.netlist.netlist import Netlist
+from repro.obs import metrics, trace
 from repro.parallel import ParallelConfig, SnapshotPool
 from repro.parallel import config as _parallel_config
 from repro.place.floorplan import Floorplan
@@ -298,8 +299,10 @@ def bisection_place(netlist: Netlist, fixed: dict[str, tuple[float, float]],
     weight = base_anchor
     runner: _RegionLevelRunner | None = None
     all_idx = np.arange(n, dtype=np.int64)
+    level = 0
     try:
         while max(len(r.cells) for r in regions) > leaf_cells:
+            level += 1
             next_regions: list[_Region] = []
             for region in regions:
                 if len(region.cells) <= leaf_cells:
@@ -323,6 +326,8 @@ def bisection_place(netlist: Netlist, fixed: dict[str, tuple[float, float]],
                 # block-Jacobi sweeps are per-region (cheap) and are
                 # what pulls boundary cells back under the 2% HPWL
                 # contract.
+                metrics.inc("place.levels")
+                metrics.inc("place.solves_skipped")
                 weight *= 2.0
                 continue
             # Terminal propagation: anchor every cell to its region
@@ -343,15 +348,20 @@ def bisection_place(netlist: Netlist, fixed: dict[str, tuple[float, float]],
                 hi_x[cells] = region.x1
                 lo_y[cells] = region.y0
                 hi_y[cells] = region.y1
-            if region_level:
-                if runner is None:
-                    runner = _RegionLevelRunner(conn, names, fixed, fp,
-                                                parallel)
-                xs, ys = runner.solve_level(regions, xs, ys, weight)
-            else:
-                if not reuse_system:
-                    system = fresh_system()
-                xs, ys = system.solve_arrays(all_idx, cx, cy, weight)
+            metrics.inc("place.levels")
+            metrics.inc("place.level_solves")
+            with trace.span("place.solve", level=level,
+                            regions=len(regions),
+                            region_parallel=region_level):
+                if region_level:
+                    if runner is None:
+                        runner = _RegionLevelRunner(conn, names, fixed,
+                                                    fp, parallel)
+                    xs, ys = runner.solve_level(regions, xs, ys, weight)
+                else:
+                    if not reuse_system:
+                        system = fresh_system()
+                    xs, ys = system.solve_arrays(all_idx, cx, cy, weight)
             # Clamp each cell into its region so the next split is local.
             np.clip(xs, lo_x, hi_x, out=xs)
             np.clip(ys, lo_y, hi_y, out=ys)

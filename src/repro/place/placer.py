@@ -18,6 +18,7 @@ solve and every bisection level.
 from __future__ import annotations
 
 from repro.netlist.netlist import Netlist
+from repro.obs import trace
 from repro.parallel import ParallelConfig
 from repro.partition.tier import TIER_LOGIC, TIER_MEMORY, TierAssignment
 from repro.place.floorplan import Floorplan, make_floorplan
@@ -85,23 +86,29 @@ def place_design(netlist: Netlist, tiers: TierAssignment,
     conn = NetConnectivity.from_netlist(netlist)
 
     # Pass 1: everything movable, to get global macro positions.
-    rough = quadratic_solve(netlist, fixed, fp, conn=conn)
+    with trace.span("place.quadratic", instances=len(netlist.instances)):
+        rough = quadratic_solve(netlist, fixed, fp, conn=conn)
     if macro_names:
-        macro_pos = legalize_macros(netlist, macro_names, rough, fp)
-        fixed.update(macro_pos)
-        placement.set_instances(macro_pos)
+        with trace.span("place.macros", macros=len(macro_names)):
+            macro_pos = legalize_macros(netlist, macro_names, rough, fp)
+            fixed.update(macro_pos)
+            placement.set_instances(macro_pos)
 
     # Pass 2: standard cells against fixed ports + macros via
     # recursive bisection (the pure quadratic solution collapses
     # interchangeable clusters onto one point — see bisection.py).
-    spread_pos = bisection_place(netlist, fixed, fp, movable=std_names,
-                                 conn=conn, parallel=parallel,
-                                 region_parallel=region_parallel)
+    with trace.span("place.bisection", cells=len(std_names),
+                    region_parallel=region_parallel):
+        spread_pos = bisection_place(netlist, fixed, fp, movable=std_names,
+                                     conn=conn, parallel=parallel,
+                                     region_parallel=region_parallel)
 
-    for tier in (TIER_LOGIC, TIER_MEMORY):
-        tier_names = [n for n in std_names if tiers.of_instance(n) == tier]
-        placement.set_instances(
-            legalize_tier(netlist, tier_names, spread_pos, fp))
+    with trace.span("place.legalize"):
+        for tier in (TIER_LOGIC, TIER_MEMORY):
+            tier_names = [n for n in std_names
+                          if tiers.of_instance(n) == tier]
+            placement.set_instances(
+                legalize_tier(netlist, tier_names, spread_pos, fp))
 
     placement.validate()
     return placement, fp

@@ -29,6 +29,7 @@ by ``tests/test_place_system.py`` and the ``bench_place.py`` gate.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,6 +37,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.errors import PlacementError
+from repro.obs import metrics, trace
 from repro.netlist.netlist import Netlist
 from repro.place.floorplan import Floorplan
 
@@ -306,10 +308,17 @@ def solve_assembled(asm: AssembledSystem,
         # SuperLU fill ~20% vs the unsymmetric default, small panels
         # suit its thin supernodes, and both RHS solve in one
         # triangular sweep.
-        lu = spla.splu(lap, options=dict(SymmetricMode=True,
-                                         DiagPivotThresh=0.001,
-                                         PanelSize=1, Relax=12))
-        xy = lu.solve(np.stack([bx, by], axis=1))
+        metrics.inc("place.factorizations")
+        t0 = time.perf_counter()
+        with trace.span("place.factor", n=asm.n_total):
+            lu = spla.splu(lap, options=dict(SymmetricMode=True,
+                                             DiagPivotThresh=0.001,
+                                             PanelSize=1, Relax=12))
+        t1 = time.perf_counter()
+        metrics.add_time("place.factor_s", t1 - t0)
+        with trace.span("place.back_solve", n=asm.n_total):
+            xy = lu.solve(np.stack([bx, by], axis=1))
+        metrics.add_time("place.back_solve_s", time.perf_counter() - t1)
     except RuntimeError as exc:  # pragma: no cover - singular fallback
         raise PlacementError(f"quadratic system solve failed: {exc}") from exc
     return (np.ascontiguousarray(xy[:asm.n_movable, 0]),

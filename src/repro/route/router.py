@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from repro.design import Design
 from repro.errors import RoutingError
 from repro.netlist.net import Net
+from repro.obs import metrics, trace
 from repro.parallel import ParallelConfig, SnapshotPool
 from repro.route.grid import CongestionGrid, UsageDelta
 from repro.route.rc import NetRC, extract_rc
@@ -173,12 +174,20 @@ class GlobalRouter:
         nets = self.design.netlist.signal_nets()
         # Long nets first: they claim upper layers before congestion.
         ordered = sorted(nets, key=lambda n: (-self._est_len(n), n.name))
-        if parallel is not None and parallel.should_parallelize(len(ordered)):
-            self._route_all_wavefront(result, ordered,
-                                      frozenset(mls_nets), parallel)
-        else:
-            for net in ordered:
-                self._commit_net(result, net, mls=net.name in mls_nets)
+        wavefront = parallel is not None \
+            and parallel.should_parallelize(len(ordered))
+        with trace.span("route.all", nets=len(ordered),
+                        mls_nets=len(mls_nets), wavefront=wavefront):
+            if wavefront:
+                self._route_all_wavefront(result, ordered,
+                                          frozenset(mls_nets), parallel)
+            else:
+                for net in ordered:
+                    self._commit_net(result, net,
+                                     mls=net.name in mls_nets)
+        metrics.inc("route.full_routes")
+        metrics.inc("route.nets_routed", len(ordered))
+        metrics.inc("route.overflow_nets", result.overflow_nets())
         self.design.routing = result
         self.design.mls_nets = set(mls_nets)
         return result
@@ -232,15 +241,22 @@ class GlobalRouter:
                 wave = self._pack_wave(ordered, index, mls_nets,
                                        footprints)
                 index += len(wave)
+                metrics.inc("route.waves")
+                metrics.observe("route.wave_size", len(wave))
                 if parallel.should_parallelize(len(wave)):
-                    self._route_wave(result, wave, pool)
+                    metrics.inc("route.wave_nets_parallel", len(wave))
+                    with trace.span("route.wave", size=len(wave)):
+                        self._route_wave(result, wave, pool)
                 else:
                     # Wave too small to amortize the pool round-trip
                     # (always the case for MLS singletons): serial at
                     # the wave boundary.
-                    for net in wave:
-                        self._commit_net(result, net,
-                                         mls=net.name in mls_nets)
+                    metrics.inc("route.wave_nets_serial", len(wave))
+                    with trace.span("route.wave", size=len(wave),
+                                    serial=True):
+                        for net in wave:
+                            self._commit_net(result, net,
+                                             mls=net.name in mls_nets)
 
     def _net_footprint(self, net: Net) -> frozenset:
         """Gcells this net's routing may read or write (pre-routing)."""
@@ -309,6 +325,7 @@ class GlobalRouter:
         """Re-route one net with/without MLS; updates *result* in place
         and returns the new parasitics.  Used by the what-if oracle and
         by targeted MLS application."""
+        metrics.inc("route.reroutes")
         self.unroute_net(result, net)
         tree = self._route_net(net, mls=mls, commit=True)
         result.trees[net.name] = tree
@@ -356,6 +373,7 @@ class GlobalRouter:
         net's committed route, the congestion grid and the result maps
         are bit-identical afterwards.
         """
+        metrics.inc("route.probes")
         committed = result.tree(net.name)
         self._apply_tree_usage(committed, -1.0)
         try:

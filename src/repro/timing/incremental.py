@@ -36,6 +36,7 @@ from typing import Iterable
 from repro.design import Design
 from repro.errors import TimingError
 from repro.netlist.net import Net
+from repro.obs import metrics, trace
 from repro.route.router import GlobalRouter, RoutingResult
 from repro.timing.delay import (PORT_DRIVE_RES, cell_output_delay,
                                 port_drive_delay)
@@ -222,6 +223,7 @@ class IncrementalSta:
 
     def _patch_edge(self, eid: int, delay: float) -> None:
         """Set one arc's delay in every view of the graph."""
+        metrics.inc("sta.inc.arcs_patched")
         self._delay[eid] = delay
         self.csr.edge_delay[eid] = delay
         src = int(self.csr.edge_src[eid])
@@ -346,6 +348,8 @@ class IncrementalSta:
         bwd: set[int] = set()
         for name in changed_nets:
             self._apply_net(netlist.net(name), fwd, bwd)
+        metrics.inc("sta.inc.updates")
+        metrics.observe("sta.inc.frontier", len(fwd) + len(bwd))
         if fwd or bwd:
             self._repropagate(fwd, bwd)
         return self.report()
@@ -358,8 +362,9 @@ class IncrementalSta:
         a full re-route, where most nets route identically and only
         the neighborhood of the toggled MLS nets actually moves.
         """
-        return self.update(net.name
-                           for net in self.design.netlist.signal_nets())
+        with trace.span("sta.update_routing"):
+            return self.update(net.name
+                               for net in self.design.netlist.signal_nets())
 
     def _rebind_period(self, changed_nets: Iterable[str]) -> TimingReport:
         """Clock constraint changed: refresh constraints, full pass."""

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.design import Design
 from repro.errors import TimingError
+from repro.obs import metrics, trace
 from repro.timing.graph import TimingGraph, build_timing_graph
 from repro.units import ps_to_ns
 
@@ -261,15 +262,23 @@ def run_sta(design: Design, graph: TimingGraph | None = None,
     if kernel not in KERNELS:
         raise TimingError(f"unknown STA kernel {kernel!r}; "
                           f"choose from {KERNELS}")
-    if graph is None:
-        graph = build_timing_graph(design)
-    period = design.clock_period_ps
-    if kernel == "serial":
-        arrival, required, endpoint_slack, worst_pred = \
-            _propagate_serial(graph, period)
-    else:
-        arrival, required, endpoint_slack, worst_pred = \
-            _propagate_csr(graph, period)
+    with trace.span("sta.full", kernel=kernel) as span:
+        if graph is None:
+            with trace.span("sta.build_graph"):
+                graph = build_timing_graph(design)
+        period = design.clock_period_ps
+        if kernel == "serial":
+            arrival, required, endpoint_slack, worst_pred = \
+                _propagate_serial(graph, period)
+            n_arcs = 2 * sum(len(out) for out in graph.fanout)
+        else:
+            arrival, required, endpoint_slack, worst_pred = \
+                _propagate_csr(graph, period)
+            n_arcs = 2 * graph.csr().num_edges
+        metrics.inc("sta.full_runs")
+        # Forward + backward pass each visit every arc once.
+        metrics.inc("sta.arc_propagations", n_arcs)
+        span.set(arcs=n_arcs)
 
     return TimingReport(clock_period_ps=period, graph=graph,
                         arrival=arrival, required=required,

@@ -79,7 +79,9 @@ class TestRunFlow:
         report = run_flow(tiny_factory, hetero_tech,
                           SeedBundle(TEST_SEED), fast_config("gnn"))
         assert report.model is not None
-        assert report.selection_runtime_s > 0
+        assert report.select_runtime_s > 0
+        assert report.runtime_s >= report.select_runtime_s
+        assert report.stage_runtime_s["flow.select"] > 0
         assert report.row()["mls_nets"] >= 0
 
     def test_random_selector(self, hetero_tech):

@@ -1,0 +1,358 @@
+"""Observability subsystem tests: spans, metrics, logging, schemas.
+
+Covers the repro.obs contracts end to end:
+
+* the disabled fast path is a shared no-op (and cheap);
+* spans nest with correct parent ids, in-process and across pool
+  workers (merged via collect_worker / merge);
+* JSONL, Chrome-trace and metrics dumps satisfy their validators;
+* tracing never changes results — FlowReport rows are bit-identical
+  with tracing on vs off;
+* the structured logger keeps default-level stdout byte-identical to
+  the prints it replaced and honours --log-level;
+* the CLI --trace/--metrics round-trip produces valid files.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import FlowConfig, run_flow
+from repro.obs import get_logger, metrics, set_log_level, trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import (validate_chrome_trace, validate_metrics,
+                              validate_trace_jsonl)
+from repro.obs.tracer import Tracer, _NULL_SPAN, chrome_trace_path
+from repro.parallel import ParallelConfig, snapshot_map
+from repro.rng import SeedBundle
+
+from tests.conftest import TEST_SEED
+from tests.test_flow import fast_config, tiny_factory
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Leave the module singletons the way every other test expects."""
+    yield
+    trace.disable()
+    trace.reset()
+    set_log_level("info")
+
+
+def by_name(records: list[dict]) -> dict[str, list[dict]]:
+    out: dict[str, list[dict]] = {}
+    for rec in records:
+        out.setdefault(rec["name"], []).append(rec)
+    return out
+
+
+class TestNullFastPath:
+    def test_disabled_span_is_shared_noop(self):
+        assert not trace.enabled
+        assert trace.span("a") is _NULL_SPAN
+        assert trace.span("b", attr=1) is _NULL_SPAN
+        with trace.span("c") as span:
+            assert span.set(x=1) is span
+        assert trace.records == []
+
+    def test_disabled_span_overhead_is_small(self):
+        # Loose ceiling, not a benchmark: 50k disabled spans must stay
+        # far below anything a flow stage would notice (<5us each).
+        n = 50_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with trace.span("hot", i=0):
+                pass
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 5e-6 * n
+
+    def test_export_parent_is_none_when_disabled(self):
+        assert trace.export_parent() is None
+
+
+class TestSpans:
+    def test_nesting_and_parent_ids(self):
+        tr = Tracer()
+        tr.enable()
+        with tr.span("outer", stage="x"):
+            with tr.span("inner.a"):
+                pass
+            with tr.span("inner.b") as span:
+                span.set(found=3)
+        recs = by_name(tr.records)
+        outer = recs["outer"][0]
+        assert outer["parent"] is None
+        assert outer["attrs"] == {"stage": "x"}
+        for name in ("inner.a", "inner.b"):
+            assert recs[name][0]["parent"] == outer["id"]
+        assert recs["inner.b"][0]["attrs"] == {"found": 3}
+        # Completion order: children close before their parent.
+        assert [r["name"] for r in tr.records] == \
+            ["inner.a", "inner.b", "outer"]
+        assert all(r["dur_us"] >= 0 for r in tr.records)
+
+    def test_ids_unique_and_pid_prefixed(self):
+        tr = Tracer()
+        tr.enable()
+        for _ in range(5):
+            with tr.span("s"):
+                pass
+        ids = [r["id"] for r in tr.records]
+        assert len(set(ids)) == 5
+        assert all(i.startswith(f"{tr._pid:x}-") for i in ids)
+
+    def test_collect_worker_roots_at_parent(self):
+        tr = Tracer()
+        tr.enable()
+        with tr.span("driver") as driver:
+            token = tr.export_parent()
+            assert token == driver.span_id
+            with tr.collect_worker(token) as records:
+                with tr.span("pool.chunk"):
+                    with tr.span("work"):
+                        pass
+            assert tr.records == []     # parked during collection
+            tr.merge(records)
+        recs = by_name(tr.records)
+        chunk = recs["pool.chunk"][0]
+        assert chunk["parent"] == recs["driver"][0]["id"]
+        assert recs["work"][0]["parent"] == chunk["id"]
+
+    def test_reset_keeps_ids_unique(self):
+        tr = Tracer()
+        tr.enable()
+        with tr.span("a"):
+            pass
+        first = tr.records[0]["id"]
+        tr.reset()
+        tr.enable()
+        with tr.span("b"):
+            pass
+        assert tr.records[0]["id"] != first
+
+
+def _scale_chunk(state, chunk):
+    return [state * item for item in chunk]
+
+
+class TestWorkerSpanMerge:
+    def test_snapshot_map_merges_pool_chunk_spans(self, tmp_path):
+        trace.enable()
+        trace.reset()
+        config = ParallelConfig(workers=2, min_items=1, chunk_size=3)
+        with trace.span("driver") as driver:
+            out = snapshot_map(_scale_chunk, list(range(9)), 10, config)
+        assert out == [10 * i for i in range(9)]
+        recs = by_name(trace.records)
+        chunks = recs["pool.chunk"]
+        assert len(chunks) == 3
+        # Every chunk span hangs off the driver span regardless of
+        # which process (pool worker or serial fallback) ran it.
+        assert all(c["parent"] == driver.span_id for c in chunks)
+        assert sum(c["attrs"]["items"] for c in chunks) == 9
+
+        jsonl = tmp_path / "pool.jsonl"
+        trace.write_jsonl(jsonl)
+        summary = validate_trace_jsonl(jsonl)
+        assert summary["spans"] == len(trace.records)
+        chrome = chrome_trace_path(jsonl)
+        assert chrome.name == "pool.chrome.json"
+        trace.write_chrome(chrome)
+        assert validate_chrome_trace(chrome)["events"] == summary["spans"]
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_stat_families(self):
+        reg = MetricsRegistry()
+        reg.inc("hits")
+        reg.inc("hits", 2)
+        reg.set_gauge("workers", 4)
+        reg.set_gauge("workers", 8)
+        for value in (3.0, 1.0, 2.0):
+            reg.observe("wave", value)
+        snap = reg.snapshot()
+        assert snap["counters"]["hits"] == 3
+        assert snap["gauges"]["workers"] == 8
+        assert snap["stats"]["wave"] == {"count": 3, "total": 6.0,
+                                         "min": 1.0, "max": 3.0,
+                                         "mean": 2.0}
+        assert reg.counter("missing") == 0
+
+    def test_write_json_validates(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("b", 1.5)
+        reg.add_time("c_s", 0.25)
+        path = tmp_path / "metrics.json"
+        reg.write_json(path)
+        assert validate_metrics(path) == \
+            {"counters": 1, "gauges": 1, "stats": 1}
+
+
+class TestLogger:
+    def test_info_to_stdout_warning_to_stderr(self, capsys):
+        log = get_logger("repro.test")
+        log.info("plain message")
+        log.warning("scary message")
+        captured = capsys.readouterr()
+        assert captured.out == "plain message\n"   # byte-identical print
+        assert captured.err == "scary message\n"
+
+    def test_level_threshold(self, capsys):
+        log = get_logger("repro.test")
+        set_log_level("warning")
+        log.info("suppressed")
+        log.warning("kept")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "kept\n"
+        set_log_level("debug")
+        log.debug("now visible")
+        assert capsys.readouterr().out == "now visible\n"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            set_log_level("loud")
+
+
+class TestFlowTracing:
+    @pytest.fixture(scope="class")
+    def traced_flow(self, hetero_tech):
+        trace.enable()
+        trace.reset()
+        try:
+            report = run_flow(
+                tiny_factory, hetero_tech, SeedBundle(TEST_SEED),
+                fast_config("oracle", with_scan=True,
+                            dft_strategy="wire-based", dft_patterns=64,
+                            pdn=True))
+            records = list(trace.records)
+        finally:
+            trace.disable()
+            trace.reset()
+        return report, records
+
+    def test_all_pipeline_stages_have_spans(self, traced_flow):
+        _, records = traced_flow
+        names = {rec["name"] for rec in records}
+        expected = {
+            "flow", "flow.prepare", "prepare.generate",
+            "prepare.partition", "prepare.place",
+            "prepare.level_shifters", "prepare.scan", "prepare.buffer",
+            "flow.route_baseline", "flow.sta_baseline", "flow.select",
+            "flow.route_mls", "flow.dft", "flow.power", "flow.pdn",
+            "place.quadratic", "place.bisection", "place.solve",
+            "place.factor", "place.back_solve", "place.legalize",
+            "route.all", "sta.full", "sta.update_routing",
+        }
+        assert expected <= names
+
+    def test_span_tree_is_rooted_at_flow(self, traced_flow, tmp_path):
+        _, records = traced_flow
+        recs = by_name(records)
+        flow_span = recs["flow"][0]
+        assert flow_span["parent"] is None
+        assert flow_span["attrs"]["selector"] == "oracle"
+        by_id = {rec["id"]: rec for rec in records}
+        for name in ("flow.prepare", "flow.select", "flow.dft",
+                     "flow.pdn"):
+            assert recs[name][0]["parent"] == flow_span["id"]
+        # Every stage span traces a parent chain back up to "flow".
+        for rec in records:
+            node = rec
+            while node["parent"] is not None:
+                node = by_id[node["parent"]]
+            assert node["name"] == "flow"
+
+    def test_trace_files_validate(self, traced_flow, tmp_path):
+        _, records = traced_flow
+        tr = Tracer()
+        tr.enable()
+        tr.merge(records)
+        jsonl = tmp_path / "flow.jsonl"
+        tr.write_jsonl(jsonl)
+        summary = validate_trace_jsonl(jsonl)
+        assert summary["spans"] == len(records)
+        assert summary["roots"] >= 1
+        chrome = chrome_trace_path(jsonl)
+        tr.write_chrome(chrome)
+        assert validate_chrome_trace(chrome)["events"] == len(records)
+        with open(chrome, encoding="utf-8") as fh:
+            events = json.load(fh)["traceEvents"]
+        assert min(e["ts"] for e in events) == 0    # rebased timeline
+
+    def test_runtime_fields(self, traced_flow):
+        report, _ = traced_flow
+        assert report.runtime_s >= report.select_runtime_s > 0
+        stages = report.stage_runtime_s
+        assert stages["flow.prepare"] > 0
+        # The stage breakdown accounts for (nearly) the whole runtime.
+        assert sum(stages.values()) <= report.runtime_s * 1.001
+        assert "runtime_s" not in report.row()      # wall-clock stays out
+
+    def test_flow_metrics_counters_move(self, traced_flow):
+        snap = metrics.snapshot()
+        for counter in ("flow.runs", "route.full_routes",
+                        "route.nets_routed", "sta.full_runs",
+                        "sta.arc_propagations", "sta.inc.updates",
+                        "place.factorizations", "place.levels"):
+            assert snap["counters"].get(counter, 0) > 0, counter
+        assert "sta.inc.frontier" in snap["stats"]
+        assert "place.factor_s" in snap["stats"]
+
+
+class TestTracingDeterminism:
+    def test_rows_bit_identical_with_tracing_on(self, hetero_tech):
+        baseline = run_flow(tiny_factory, hetero_tech,
+                            SeedBundle(TEST_SEED), fast_config("sota"))
+        trace.enable()
+        trace.reset()
+        try:
+            traced = run_flow(tiny_factory, hetero_tech,
+                              SeedBundle(TEST_SEED), fast_config("sota"))
+        finally:
+            trace.disable()
+            trace.reset()
+        row_a = {k: v for k, v in baseline.row().items()
+                 if k != "runtime_min"}
+        row_b = {k: v for k, v in traced.row().items()
+                 if k != "runtime_min"}
+        assert row_a == row_b
+
+
+class TestCliRoundTrip:
+    def test_flow_trace_metrics_files(self, tmp_path, capsys):
+        from repro.cli import main
+        jsonl = tmp_path / "run.jsonl"
+        mjson = tmp_path / "run-metrics.json"
+        # A seed no other test uses, so the harness flow cache misses
+        # and the run actually executes (and emits spans).
+        code = main(["flow", "--benchmark", "maeri16_hetero",
+                     "--selector", "none", "--seed", "20250806",
+                     "--trace", str(jsonl), "--metrics", str(mjson)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wns_ps" in out
+        assert f"wrote metrics to {mjson}" in out
+
+        summary = validate_trace_jsonl(jsonl)
+        assert summary["spans"] > 0
+        names = set()
+        with open(jsonl, encoding="utf-8") as fh:
+            for line in fh:
+                names.add(json.loads(line)["name"])
+        assert {"flow", "flow.prepare", "route.all", "flow.select",
+                "sta.update_routing"} <= names
+        chrome = chrome_trace_path(jsonl)
+        assert validate_chrome_trace(chrome)["events"] == summary["spans"]
+        msummary = validate_metrics(mjson)
+        assert msummary["counters"] > 0
+
+    def test_log_level_silences_info(self, capsys):
+        from repro.cli import main
+        assert main(["list", "--log-level", "warning"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
