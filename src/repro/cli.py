@@ -19,6 +19,7 @@ to the historical prints).
 Examples
 --------
 python -m repro flow --benchmark maeri16_hetero --selector gnn
+python -m repro flow --benchmark maeri16_hetero --verilog maeri16.v
 python -m repro table --table 4
 python -m repro timing --benchmark a7_hetero --selector none --paths 3
 python -m repro export --benchmark maeri16_hetero --out maeri16.v
@@ -100,8 +101,27 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _verilog_spec(spec, path):
+    """A copy of *spec* whose factory imports *path* instead of
+    generating — the tech/freq/activity context stays the benchmark's.
+    """
+    import dataclasses
+
+    from repro.netlist.verilog import read_verilog
+
+    def factory(libraries, seeds):
+        del seeds                       # import is seed-independent
+        return read_verilog(path, libraries)
+
+    return dataclasses.replace(
+        spec, key=f"{spec.key}+verilog",
+        paper_name=f"{spec.paper_name} [import {path}]", factory=factory)
+
+
 def _cmd_flow(args) -> int:
     spec = get_benchmark(args.benchmark)
+    if args.verilog:
+        spec = _verilog_spec(spec, args.verilog)
     report = run_benchmark_flow(spec, args.selector, seed=args.seed,
                                 parallel=_parallel_config(args),
                                 place_region_parallel=
@@ -189,6 +209,12 @@ def main(argv: list[str] | None = None) -> int:
 
     flow = sub.add_parser("flow", help="run one flow, print its row")
     _add_common(flow)
+    flow.add_argument("--verilog", metavar="FILE", default=None,
+                      help="import FILE (structural Verilog, e.g. from "
+                           "'repro export') as the design instead of "
+                           "generating the benchmark netlist; tech and "
+                           "target frequency still come from "
+                           "--benchmark")
 
     table = sub.add_parser("table", help="regenerate a paper table")
     table.add_argument("--table", type=int, required=True,

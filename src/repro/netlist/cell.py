@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.errors import NetlistError
-from repro.netlist.net import Pin
+from repro.netlist.net import Pin, _lookup_named, _new_empty
 from repro.tech.cells import CellType
 
 
@@ -13,9 +13,15 @@ class Instance:
     ``attrs`` is a free-form dict the generators use to tag instances
     with architecture hints (``region``: "logic"/"memory", ``module``:
     hierarchical origin) that the tier partitioner consumes.
+
+    Instances owned by a netlist pickle *by reference* — a lookup into
+    their netlist, which itself serializes flat (see
+    :mod:`repro.netlist.soa`) — so external holders (route trees,
+    timing snapshots) stay identity-consistent with the netlist inside
+    one pickle payload and never drag a recursive object graph.
     """
 
-    __slots__ = ("name", "cell", "pins", "attrs")
+    __slots__ = ("name", "cell", "pins", "attrs", "_netlist")
 
     def __init__(self, name: str, cell: CellType):
         self.name = name
@@ -25,6 +31,18 @@ class Instance:
             self.pins[spec.name] = Pin(spec.name, spec.direction,
                                        owner=self, cap_ff=spec.cap_ff)
         self.attrs: dict[str, str] = {}
+        self._netlist = None            # set by Netlist.add_instance
+
+    def __reduce__(self):
+        if self._netlist is not None:
+            return (_lookup_named, (self._netlist, "instances", self.name))
+        # Detached instance (hand-built test fragments): by value.
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        return (_new_empty, (Instance,), state)
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     def pin(self, name: str) -> Pin:
         try:

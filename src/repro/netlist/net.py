@@ -17,6 +17,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.netlist.cell import Instance
 
 
+def _lookup_named(netlist, table: str, name: str):
+    """Pickle helper: resolve a netlist-owned object by name.
+
+    ``table`` is the owning dict attribute (``"instances"`` /
+    ``"nets"`` / ``"ports"``).  Module-level so pickle can reference
+    it; the netlist argument arrives already rebuilt from its flat
+    struct-of-arrays state, making the whole chain recursion-free.
+    """
+    return getattr(netlist, table)[name]
+
+
+def _lookup_inst_pin(instance, name: str):
+    """Pickle helper: a pin by name on its owning instance."""
+    return instance.pins[name]
+
+
+def _lookup_port_pin(port):
+    """Pickle helper: the single pin of a port."""
+    return port.pin
+
+
+def _new_empty(cls):
+    """Pickle helper: bare instance for by-value slot-state restore."""
+    return cls.__new__(cls)
+
+
 class Pin:
     """One connection point: belongs to an instance or a port.
 
@@ -63,6 +89,21 @@ class Pin:
             return self.direction == "in"
         return self.direction == "out"
 
+    def __reduce__(self):
+        # By reference through the owner whenever the owner is itself
+        # netlist-attached (the normal case); detached fragments fall
+        # back to by-value slot state.
+        if self.owner is not None and self.owner._netlist is not None:
+            return (_lookup_inst_pin, (self.owner, self.name))
+        if self.port is not None and self.port._netlist is not None:
+            return (_lookup_port_pin, (self.port,))
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        return (_new_empty, (Pin,), state)
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Pin({self.full_name})"
 
@@ -76,13 +117,24 @@ class Net:
     re-routed without mutation.
     """
 
-    __slots__ = ("name", "driver", "sinks", "is_clock")
+    __slots__ = ("name", "driver", "sinks", "is_clock", "_netlist")
 
     def __init__(self, name: str, is_clock: bool = False):
         self.name = name
         self.driver: Pin | None = None
         self.sinks: list[Pin] = []
         self.is_clock = is_clock
+        self._netlist = None            # set by Netlist.add_net
+
+    def __reduce__(self):
+        if self._netlist is not None:
+            return (_lookup_named, (self._netlist, "nets", self.name))
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        return (_new_empty, (Net,), state)
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     def attach(self, pin: Pin) -> None:
         """Connect *pin*, enforcing the single-driver invariant."""
@@ -139,7 +191,18 @@ class Port:
     ports are endpoints with an external load capacitance.
     """
 
-    __slots__ = ("name", "direction", "pin", "tier_hint", "false_path")
+    __slots__ = ("name", "direction", "pin", "tier_hint", "false_path",
+                 "_netlist")
+
+    def __reduce__(self):
+        if self._netlist is not None:
+            return (_lookup_named, (self._netlist, "ports", self.name))
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        return (_new_empty, (Port,), state)
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
     def __init__(self, name: str, direction: str, cap_ff: float = 2.0,
                  tier_hint: int = 0, false_path: bool = False):
@@ -155,6 +218,7 @@ class Port:
         #: Static-in-function ports (test mode, scan enable) are
         #: excluded from timing propagation but still load their nets.
         self.false_path = false_path
+        self._netlist = None            # set by Netlist.add_port
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Port({self.name}, {self.direction})"

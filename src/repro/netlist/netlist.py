@@ -14,11 +14,20 @@ from typing import Iterable
 from repro.errors import NetlistError
 from repro.netlist.cell import Instance
 from repro.netlist.net import Net, Pin, Port
+from repro.netlist.soa import NetlistSoA
 from repro.tech.cells import CellType
 
 
 class Netlist:
-    """A flat gate-level netlist."""
+    """A flat gate-level netlist.
+
+    Serialization note: pickling goes through the struct-of-arrays
+    core (:class:`~repro.netlist.soa.NetlistSoA`) — flat id/offset
+    arrays plus string tables instead of the recursive pin->net->pin
+    object graph.  Encode and decode are iterative, so pickling is
+    independent of ``sys.getrecursionlimit()`` at any design scale,
+    and the payload is several times smaller than the object graph.
+    """
 
     def __init__(self, name: str):
         self.name = name
@@ -33,6 +42,7 @@ class Netlist:
         if name in self.instances:
             raise NetlistError(f"duplicate instance name {name!r}")
         inst = Instance(name, cell)
+        inst._netlist = self
         self.instances[name] = inst
         return inst
 
@@ -40,6 +50,7 @@ class Netlist:
         if name in self.nets:
             raise NetlistError(f"duplicate net name {name!r}")
         net = Net(name, is_clock=is_clock)
+        net._netlist = self
         self.nets[name] = net
         return net
 
@@ -49,8 +60,28 @@ class Netlist:
             raise NetlistError(f"duplicate port name {name!r}")
         port = Port(name, direction, cap_ff=cap_ff, tier_hint=tier_hint,
                     false_path=false_path)
+        port._netlist = self
         self.ports[name] = port
         return port
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_flat(self) -> NetlistSoA:
+        """Snapshot into the struct-of-arrays representation."""
+        return NetlistSoA.from_netlist(self)
+
+    @classmethod
+    def from_flat(cls, flat: NetlistSoA) -> "Netlist":
+        """Rebuild a netlist from a :class:`NetlistSoA` snapshot."""
+        netlist = cls.__new__(cls)
+        flat.populate(netlist)
+        return netlist
+
+    def __getstate__(self) -> dict:
+        return {"flat": self.to_flat()}
+
+    def __setstate__(self, state: dict) -> None:
+        state["flat"].populate(self)
 
     def connect(self, net: Net | str, pin: Pin) -> None:
         """Attach *pin* to *net* (accepting a net name for convenience)."""

@@ -19,9 +19,13 @@ import re
 from pathlib import Path
 from typing import TextIO
 
-from repro.errors import NetlistError
+from repro.errors import NetlistError, TechError
 from repro.netlist.netlist import Netlist
 from repro.tech.library import CellLibrary
+
+#: Instance attribute naming the library an imported cell resolves in.
+REGION_ATTR = "region"
+DEFAULT_REGION = "logic"
 
 _ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
 
@@ -114,13 +118,42 @@ def _tokenize(text: str) -> list[str]:
     return out
 
 
+def _as_library_map(library) -> dict[str, CellLibrary]:
+    """Normalize the importer's library argument.
+
+    A bare :class:`CellLibrary` serves every region; a dict (the shape
+    of ``TechSetup.libraries``) resolves each instance's cell in the
+    library named by its ``(* region = "..." *)`` attribute, defaulting
+    to ``"logic"`` — the same convention the generators, partitioner
+    and DFT surgery already use.
+    """
+    if isinstance(library, CellLibrary):
+        return {DEFAULT_REGION: library}
+    return dict(library)
+
+
 class _Parser:
     """Recursive-descent parser for the emitted dialect."""
 
-    def __init__(self, tokens: list[str], library: CellLibrary):
+    def __init__(self, tokens: list[str],
+                 libraries: dict[str, CellLibrary]):
         self.tokens = tokens
         self.pos = 0
-        self.library = library
+        self.libraries = libraries
+
+    def resolve_cell(self, cell_name: str, attrs: dict[str, str],
+                     inst_name: str):
+        region = attrs.get(REGION_ATTR, DEFAULT_REGION)
+        try:
+            library = self.libraries[region]
+        except KeyError:
+            if len(self.libraries) == 1:
+                library = next(iter(self.libraries.values()))
+            else:
+                raise TechError(
+                    f"instance {inst_name!r} names region {region!r}; "
+                    f"known libraries: {sorted(self.libraries)}") from None
+        return library.get(cell_name)
 
     def peek(self) -> str | None:
         if self.pos < len(self.tokens):
@@ -224,8 +257,8 @@ class _Parser:
                 netlist.net(net_name).attach(port.pin)
         for cell_name, inst_name, _, attrs in pending:
             conns = attrs.pop("__conns__")   # type: ignore
-            inst = netlist.add_instance(inst_name,
-                                        self.library.get(cell_name))
+            inst = netlist.add_instance(
+                inst_name, self.resolve_cell(cell_name, attrs, inst_name))
             inst.attrs.update({k: v for k, v in attrs.items()})
             # Attach output last so single-driver checks see sinks of
             # earlier instances first (order doesn't actually matter,
@@ -235,14 +268,20 @@ class _Parser:
         return netlist
 
 
-def read_verilog(path: str | Path, library: CellLibrary) -> Netlist:
+def read_verilog(path: str | Path,
+                 library: CellLibrary | dict[str, CellLibrary]) -> Netlist:
     """Parse a structural Verilog file written by :func:`write_verilog`.
 
-    All cell types must exist in *library*; unknown cells raise
+    *library* is either a single :class:`CellLibrary` or a region-name
+    -> library dict (``TechSetup.libraries``); with a dict, each
+    instance's cell resolves in the library named by its ``(* region =
+    "..." *)`` attribute (default ``"logic"``) — required for
+    heterogeneous designs where the logic and memory dies carry
+    same-named cells at different nodes.  Unknown cells raise
     :class:`~repro.errors.TechError`.
     """
     text = Path(path).read_text()
-    parser = _Parser(_tokenize(text), library)
+    parser = _Parser(_tokenize(text), _as_library_map(library))
     netlist = parser.parse()
     netlist.validate()
     return netlist

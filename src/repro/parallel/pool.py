@@ -34,10 +34,15 @@ from repro.parallel.config import ParallelConfig
 
 T = TypeVar("T")
 
-#: The netlist's pin<->net<->instance graph recurses deeply; pickle
-#: needs a raised interpreter recursion limit.  Escalate in steps so
-#: small designs don't pay a huge C-stack reservation.
-_RECURSION_LIMITS = (50_000, 200_000, 1_000_000)
+#: Netlists serialize flat (struct-of-arrays ``__getstate__`` — see
+#: :mod:`repro.netlist.soa`), so snapshot depth no longer scales with
+#: design size and the default interpreter limit usually suffices.
+#: One modest escalation step remains for arbitrary user payloads
+#: (nested route trees, ad-hoc test objects).  The old top step of
+#: 1,000,000 is gone deliberately: raising the Python limit that far
+#: overran the C stack and turned a clean RecursionError into a
+#: segfault on 128PE-class designs.
+_RECURSION_LIMITS = (50_000,)
 
 #: Per-process snapshot installed by the pool initializer.
 _WORKER_STATE: Any = None
@@ -73,7 +78,7 @@ def _with_raised_recursion(fn: Callable[[], T]) -> T:
 
 
 def dumps_snapshot(obj: Any) -> bytes:
-    """Pickle *obj* tolerating the deep netlist object graph."""
+    """Pickle *obj* with headroom for moderately nested payloads."""
     return _with_raised_recursion(
         lambda: pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 

@@ -2,9 +2,26 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import PartitionError
 from repro.netlist.net import Net
 from repro.netlist.netlist import Netlist
+from repro.netlist.soa import pack_names, unpack_names
+
+
+def _pack_tiers(tiers: dict[str, int], reference: list[str]) -> dict:
+    names = list(tiers)
+    return {
+        "tier": np.asarray(list(tiers.values()), dtype=np.int8),
+        "names": None if names == reference else pack_names(names),
+    }
+
+
+def _unpack_tiers(state: dict, reference: list[str]) -> dict[str, int]:
+    packed = state["names"]
+    names = reference if packed is None else unpack_names(packed)
+    return {name: int(tier) for name, tier in zip(names, state["tier"])}
 
 #: Bottom die — compute fabric ("logic die" in the paper).
 TIER_LOGIC = 0
@@ -19,6 +36,22 @@ class TierAssignment:
         self.netlist = netlist
         self._inst_tier: dict[str, int] = {}
         self._port_tier: dict[str, int] = {}
+
+    def __getstate__(self) -> dict:
+        # Flat arrays, eliding the name tables when assignment order
+        # matches netlist order (every partitioner output does).
+        return {
+            "netlist": self.netlist,
+            "inst": _pack_tiers(self._inst_tier, list(self.netlist.instances)),
+            "port": _pack_tiers(self._port_tier, list(self.netlist.ports)),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.netlist = state["netlist"]
+        self._inst_tier = _unpack_tiers(state["inst"],
+                                        list(self.netlist.instances))
+        self._port_tier = _unpack_tiers(state["port"],
+                                        list(self.netlist.ports))
 
     def set_instance(self, name: str, tier: int) -> None:
         if tier not in (TIER_LOGIC, TIER_MEMORY):

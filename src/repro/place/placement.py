@@ -4,10 +4,40 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import PlacementError
 from repro.netlist.net import Pin
 from repro.netlist.netlist import Netlist
+from repro.netlist.soa import pack_names, unpack_names
 from repro.partition.tier import TierAssignment
+
+
+def _pack_locations(loc: dict, reference: list[str]) -> dict:
+    """Flatten a name -> Location dict into arrays.
+
+    When the dict's key order matches *reference* (the owning
+    netlist's iteration order — the case for every placer output) the
+    name table is elided entirely and only the coordinate arrays ship.
+    """
+    names = list(loc)
+    state = {
+        "x": np.asarray([l.x for l in loc.values()], dtype=np.float64),
+        "y": np.asarray([l.y for l in loc.values()], dtype=np.float64),
+        "tier": np.asarray([l.tier for l in loc.values()], dtype=np.int8),
+    }
+    state["names"] = None if names == reference else pack_names(names)
+    return state
+
+
+def _unpack_locations(state: dict, reference: list[str]) -> dict:
+    packed = state["names"]
+    names = reference if packed is None else unpack_names(packed)
+    return {
+        name: Location(float(x), float(y), int(tier))
+        for name, x, y, tier in zip(names, state["x"], state["y"],
+                                    state["tier"])
+    }
 
 
 @dataclass(frozen=True)
@@ -32,6 +62,27 @@ class Placement:
         self.tiers = tiers
         self._loc: dict[str, Location] = {}
         self._port_loc: dict[str, Location] = {}
+
+    def __getstate__(self) -> dict:
+        # Locations flatten to coordinate arrays (plus a name table
+        # only when key order diverges from the netlist's) — the same
+        # flat-serialization move as the netlist core, keeping
+        # prepare-cache entries and snapshot fan-out payloads small.
+        return {
+            "netlist": self.netlist,
+            "tiers": self.tiers,
+            "loc": _pack_locations(self._loc, list(self.netlist.instances)),
+            "port_loc": _pack_locations(self._port_loc,
+                                        list(self.netlist.ports)),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.netlist = state["netlist"]
+        self.tiers = state["tiers"]
+        self._loc = _unpack_locations(state["loc"],
+                                      list(self.netlist.instances))
+        self._port_loc = _unpack_locations(state["port_loc"],
+                                           list(self.netlist.ports))
 
     def set_instance(self, name: str, x: float, y: float) -> None:
         self._loc[name] = Location(x, y, self.tiers.of_instance(name))

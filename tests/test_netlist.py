@@ -231,3 +231,213 @@ class TestBuilder:
         qs = tiny_builder.register_word(bits, clk)
         assert len(qs) == 4
         assert len(tiny_builder.netlist.sequential_instances()) == 4
+
+
+# ---------------------------------------------------------------------------
+# Struct-of-arrays core + flat serialization (ISSUE 6)
+# ---------------------------------------------------------------------------
+
+import pickle
+import sys
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.soa import NetlistSoA, pack_names, unpack_names
+from tests.golden_util import netlist_digest
+
+
+def roundtrip(nl: Netlist) -> Netlist:
+    return pickle.loads(pickle.dumps(nl, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class TestFlatSerialization:
+    def test_pickle_roundtrip_exact(self):
+        nl = small_netlist()
+        assert netlist_digest(roundtrip(nl)) == netlist_digest(nl)
+
+    def test_roundtrip_after_surgery(self):
+        """split_net_at_sinks + swap_cell state survives exactly."""
+        builder = NetlistBuilder("s", {"logic": LIB})
+        clk = builder.clock_net()
+        clk.attach(builder.netlist.add_port("ck", "in").pin)
+        d = builder.input("d")
+        q = builder.flop(d, clk)
+        builder.output("q", q)
+        nl = builder.netlist
+        ff = next(iter(nl.sequential_instances()))
+        nl.swap_cell(ff, LIB.get("SDFF"))
+        nl.split_net_at_sinks(nl.net(d.name), [ff.pin("D")])
+        assert netlist_digest(roundtrip(nl)) == netlist_digest(nl)
+
+    def test_fresh_name_counter_survives(self):
+        nl = small_netlist()
+        nl.fresh_name("x")
+        nl.fresh_name("x")
+        restored = roundtrip(nl)
+        assert restored.fresh_name("y") == nl.fresh_name("y")
+
+    def test_soa_views(self):
+        nl = small_netlist()
+        flat = nl.to_flat()
+        assert flat.num_instances == 1
+        assert flat.num_nets == 3
+        assert list(flat.fanouts()) == [1, 1, 1]
+        assert list(flat.degrees()) == [2, 2, 2]
+        assert flat.cell_areas().sum() == nl.total_cell_area()
+        offsets, owners, is_driver = flat.incidence()
+        assert offsets[-1] == flat.num_pins
+        assert is_driver.sum() == 3                 # one driver per net
+        rebuilt = Netlist.from_flat(flat)
+        assert netlist_digest(rebuilt) == netlist_digest(nl)
+
+    def test_identity_consistency_in_shared_payload(self):
+        """Pins/nets pickled next to their netlist resolve INTO it."""
+        nl = small_netlist()
+        gate = nl.instance("g0")
+        pin = gate.pin("A")
+        net = nl.net("ny")
+        nl2, gate2, pin2, net2 = pickle.loads(
+            pickle.dumps((nl, gate, pin, net)))
+        assert gate2 is nl2.instances["g0"]
+        assert pin2 is gate2.pins["A"]
+        assert pin2.net is nl2.nets["na"]
+        assert net2 is nl2.nets["ny"]
+        assert net2.driver is gate2.output_pin
+
+    def test_detached_fragments_still_pickle(self):
+        from repro.netlist import Instance, Net
+        inst = Instance("solo", LIB.get("NAND2"))
+        net = Net("wire")
+        net.attach(inst.output_pin)
+        inst2, net2 = pickle.loads(pickle.dumps((inst, net)))
+        assert inst2.name == "solo" and inst2._netlist is None
+        assert net2.driver is inst2.output_pin
+
+    def test_recursion_limit_independence(self):
+        """A deep serial chain pickles at a tiny recursion limit.
+
+        The old object-graph pickle recursed once per chain stage; the
+        flat encoder must not care about depth at all.
+        """
+        builder = NetlistBuilder("deep", {"logic": LIB})
+        net = builder.input("start")
+        for _ in range(4000):
+            net = builder.gate("INV", net)
+        builder.output("end", net)
+        nl = builder.done()
+        old = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(200)
+            restored = roundtrip(nl)
+        finally:
+            sys.setrecursionlimit(old)
+        assert netlist_digest(restored) == netlist_digest(nl)
+
+    def test_pack_names_roundtrip(self):
+        names = [f"core{i}/u_{i}" for i in range(100)]
+        assert unpack_names(pack_names(names)) == names
+        assert unpack_names(pack_names([])) == []
+        weird = ["a\nb", "c"]                       # separator collision
+        assert unpack_names(pack_names(weird)) == weird
+
+    def test_foreign_pin_rejected(self):
+        nl = small_netlist()
+        other = small_netlist()
+        # Graft a pin from another netlist behind the API's back.
+        foreign = other.instance("g0").pin("A")
+        foreign.net = None
+        nl.net("ny").attach(foreign)
+        with pytest.raises(NetlistError, match="does not belong"):
+            nl.to_flat()
+
+
+# -- hypothesis: random builder programs round-trip exactly -----------------
+
+_COMB = ["INV", "BUF", "NAND2", "NOR2", "XOR2", "AOI21", "MUX2", "AND3"]
+
+_op = st.one_of(
+    st.tuples(st.just("input")),
+    st.tuples(st.just("gate"), st.sampled_from(_COMB),
+              st.lists(st.integers(0, 10 ** 6), min_size=3, max_size=3)),
+    st.tuples(st.just("flop"), st.integers(0, 10 ** 6)),
+    st.tuples(st.just("region")),
+    st.tuples(st.just("module"), st.sampled_from(["a", "b/c", "x1"])),
+    st.tuples(st.just("split"), st.integers(0, 10 ** 6)),
+)
+
+
+def _build_program(ops) -> Netlist:
+    """Interpret one random op list as a netlist-builder program.
+
+    Net choices index into the currently-available net list modulo its
+    size, so every program is valid by construction; a final pass adds
+    output ports for dangling nets (making validate() pass) and one
+    split_net_at_sinks per requested split exercises the surgery path.
+    """
+    from repro.tech import NODE_16NM
+    libs = {"logic": build_library(NODE_16NM),
+            "memory": build_library(NODE_28NM)}
+    builder = NetlistBuilder("prog", libs)
+    clk = builder.clock_net()
+    clk.attach(builder.netlist.add_port("ck", "in").pin)
+    nets = [builder.input("seed0"), builder.input("seed1")]
+    regions = ["logic", "memory"]
+    region = 0
+    splits = []
+    for op in ops:
+        if op[0] == "input":
+            nets.append(builder.input(f"in{len(nets)}"))
+        elif op[0] == "gate":
+            _, cell, picks = op
+            arity = len(libs[regions[region]].get(cell).inputs)
+            ins = [nets[p % len(nets)] for p in picks[:arity]]
+            with builder.region(regions[region]):
+                nets.append(builder.gate(cell, *ins))
+        elif op[0] == "flop":
+            with builder.region("logic"):
+                nets.append(builder.flop(nets[op[1] % len(nets)], clk))
+        elif op[0] == "region":
+            region = 1 - region
+        elif op[0] == "module":
+            builder._module_stack.append(op[1])
+        elif op[0] == "split":
+            splits.append(op[1])
+    netlist = builder.netlist
+    for idx, net in enumerate(nets):
+        if not net.sinks:
+            builder.output(f"out{idx}", net)
+    for pick in splits:
+        candidates = [n for n in netlist.signal_nets() if len(n.sinks) >= 2]
+        if candidates:
+            net = candidates[pick % len(candidates)]
+            netlist.split_net_at_sinks(net, [net.sinks[pick % len(net.sinks)]])
+    return netlist
+
+
+class TestFlatSerializationProperties:
+    @given(st.lists(_op, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_random_builder_program_roundtrips(self, ops):
+        nl = _build_program(ops)
+        restored = roundtrip(nl)
+        assert netlist_digest(restored) == netlist_digest(nl)
+        # Iteration orders, not just content digests:
+        assert list(restored.instances) == list(nl.instances)
+        assert list(restored.nets) == list(nl.nets)
+        assert list(restored.ports) == list(nl.ports)
+        for a, b in zip(restored.instances.values(), nl.instances.values()):
+            assert list(a.pins) == list(b.pins)
+            # Cells pickle by value (they cross process boundaries) but
+            # instances of one cell type still share a single object.
+            assert a.cell == b.cell
+        for a, b in zip(restored.nets.values(), nl.nets.values()):
+            assert [p.full_name for p in a.pins()] \
+                == [p.full_name for p in b.pins()]
+
+    @given(st.lists(_op, max_size=25))
+    @settings(max_examples=20, deadline=None)
+    def test_double_roundtrip_is_stable(self, ops):
+        nl = _build_program(ops)
+        once = roundtrip(nl)
+        twice = roundtrip(once)
+        assert netlist_digest(once) == netlist_digest(twice)

@@ -40,18 +40,45 @@ class TestRoundTrip:
                             hetero_tech.libraries, SeedBundle(5))
         path = tmp_path / "maeri.v"
         write_verilog(nl, path)
-        # Hetero designs need both libraries; read against a merged view.
-        merged_cells = {c.name: c for lib in hetero_tech.libraries.values()
-                        for c in lib}
-        from repro.tech.library import CellLibrary
-        merged = CellLibrary(NODE_28NM, list(merged_cells.values()))
-        back = read_verilog(path, merged)
+        # Hetero designs read back against the full library dict; each
+        # instance resolves in the library its region attr names.
+        back = read_verilog(path, hetero_tech.libraries)
         assert len(back.instances) == len(nl.instances)
         assert len(back.nets) == len(nl.nets)
         # Region attrs survive.
         some = next(n for n, i in nl.instances.items()
                     if i.attrs.get("region") == "memory")
         assert back.instance(some).attrs["region"] == "memory"
+
+    def test_multi_library_resolves_per_region(self, hetero_tech,
+                                               tmp_path):
+        """A 16nm INV and a 28nm INV share a name but not electrical
+        models — the importer must pick the region's library, not a
+        merged namespace."""
+        nl = generate_maeri(MaeriConfig(pe_count=16, bandwidth=8),
+                            hetero_tech.libraries, SeedBundle(5))
+        path = tmp_path / "maeri.v"
+        write_verilog(nl, path)
+        back = read_verilog(path, hetero_tech.libraries)
+        for name, orig in nl.instances.items():
+            region = orig.attrs.get("region", "logic")
+            expected = hetero_tech.libraries[region].get(orig.cell.name)
+            assert back.instance(name).cell is expected
+
+    def test_imported_netlist_flat_roundtrip(self, hetero_tech, tmp_path):
+        """Imported netlists go through the same flat (SoA) pickle as
+        generated ones — exact structural round trip."""
+        import pickle
+
+        from tests.golden_util import netlist_digest
+        nl = generate_maeri(MaeriConfig(pe_count=16, bandwidth=8),
+                            hetero_tech.libraries, SeedBundle(5))
+        path = tmp_path / "maeri.v"
+        write_verilog(nl, path)
+        imported = read_verilog(path, hetero_tech.libraries)
+        restored = pickle.loads(pickle.dumps(imported))
+        assert netlist_digest(restored) == netlist_digest(imported)
+        assert list(restored.instances) == list(imported.instances)
 
     def test_clock_marking_survives(self, hetero_tech, tmp_path):
         nl = make_chain_netlist(hetero_tech)
@@ -72,6 +99,23 @@ class TestRoundTrip:
         assert text.count("module ") == 1  # one module decl (+ endmodule)
 
 
+class TestFlowImport:
+    def test_flow_runs_on_imported_verilog(self, tmp_path, capsys):
+        """export -> flow --verilog matches the generate path's contract:
+        the full flow (partition/place/route/STA) runs on the import."""
+        from repro.cli import main
+        out_file = tmp_path / "m16.v"
+        assert main(["export", "--benchmark", "maeri16_hetero",
+                     "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["flow", "--benchmark", "maeri16_hetero",
+                     "--selector", "none",
+                     "--verilog", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "wns_ps" in out
+        assert f"import {out_file}" in out
+
+
 class TestParserErrors:
     def test_unknown_cell_rejected(self, tmp_path):
         path = tmp_path / "bad.v"
@@ -88,6 +132,20 @@ class TestParserErrors:
         path.write_text("this is @ not ! verilog")
         with pytest.raises(NetlistError):
             read_verilog(path, LIB)
+
+    def test_unknown_region_rejected(self, hetero_tech, tmp_path):
+        path = tmp_path / "bad_region.v"
+        path.write_text(
+            "module m (a, y);\n  input a;\n  output y;\n"
+            "  wire n1;\n  wire n2;\n"
+            "  assign n1 = a;\n  assign y = n2;\n"
+            "  (* region = \"analog\" *)\n"
+            "  INV u0 (.A(n1), .Y(n2));\nendmodule\n")
+        with pytest.raises(TechError, match="analog"):
+            read_verilog(path, hetero_tech.libraries)
+        # A bare library ignores region attrs entirely (legacy shape).
+        nl = read_verilog(path, LIB)
+        assert nl.instance("u0").attrs["region"] == "analog"
 
     def test_comments_ignored(self, tmp_path):
         path = tmp_path / "c.v"
