@@ -7,7 +7,14 @@ table      regenerate a paper table (1, 3, 4, 5, 6)
 timing     run a flow and print the signoff-style timing report
 congestion run a flow and print routing utilization + a heatmap
 export     generate a benchmark netlist and write structural Verilog
+service    flow-as-a-service daemon: start | stop | status | submit
 list       list benchmark keys and selectors
+
+``flow``/``timing``/``congestion`` accept ``--store PATH`` to read
+through (and write back) the persistent content-addressed artifact
+store — warm invocations skip generate/partition/place/buffer, or
+replay the whole stored report bit-identically.  ``service start``
+puts an async daemon in front of the same store on a unix socket.
 
 Every command also takes the observability flags (see
 :mod:`repro.obs`): ``--trace PATH`` records hierarchical spans to
@@ -24,12 +31,19 @@ python -m repro table --table 4
 python -m repro timing --benchmark a7_hetero --selector none --paths 3
 python -m repro export --benchmark maeri16_hetero --out maeri16.v
 python -m repro flow --selector none --trace run.jsonl --metrics run.json
+python -m repro flow --benchmark maeri16_hetero --store .repro/store
+python -m repro service start --detach
+python -m repro service submit --benchmark maeri16_hetero --selector none
+python -m repro service status --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from pathlib import Path
 
 from repro.core.flow import SELECTORS
 from repro.harness.designs import BENCHMARKS, DEFAULT_EXPERIMENT_SEED, \
@@ -40,6 +54,11 @@ from repro.obs import (LEVELS, chrome_trace_path, get_logger, metrics,
 from repro.parallel import ParallelConfig
 
 log = get_logger("repro.cli")
+
+#: Default daemon endpoints, overridable via the environment.
+DEFAULT_SOCKET = os.environ.get("REPRO_SERVICE_SOCKET",
+                                ".repro/service.sock")
+DEFAULT_STORE = os.environ.get("REPRO_STORE", ".repro/store")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -55,6 +74,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "bisection placement (deterministic at any "
                              "worker count, but placements differ "
                              "slightly from the serial joint solve)")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="persistent content-addressed artifact "
+                             "store to read through / write back "
+                             "(warm runs skip prepare or replay the "
+                             "stored report)")
+
+
+def _store(args):
+    path = getattr(args, "store", None)
+    if not path:
+        return None
+    from repro.service.store import ArtifactStore
+    return ArtifactStore(path)
 
 
 def _positive_int(text: str) -> int:
@@ -125,7 +157,8 @@ def _cmd_flow(args) -> int:
     report = run_benchmark_flow(spec, args.selector, seed=args.seed,
                                 parallel=_parallel_config(args),
                                 place_region_parallel=
-                                args.place_region_parallel)
+                                args.place_region_parallel,
+                                store=_store(args))
     log.info(f"{spec.paper_name} — selector {args.selector}")
     for key, value in report.row().items():
         log.info(f"  {key:<18} {value:>12.3f}" if isinstance(value, float)
@@ -169,7 +202,8 @@ def _cmd_timing(args) -> int:
     report = run_benchmark_flow(spec, args.selector, seed=args.seed,
                                 parallel=_parallel_config(args),
                                 place_region_parallel=
-                                args.place_region_parallel)
+                                args.place_region_parallel,
+                                store=_store(args))
     log.info(render_summary(report.final_sta, num_paths=args.paths))
     return 0
 
@@ -180,13 +214,122 @@ def _cmd_congestion(args) -> int:
     report = run_benchmark_flow(spec, args.selector, seed=args.seed,
                                 parallel=_parallel_config(args),
                                 place_region_parallel=
-                                args.place_region_parallel)
+                                args.place_region_parallel,
+                                store=_store(args))
     routing = report.design.require_routing()
     log.info(render_utilization(routing))
     log.info("")
     top = routing.grid.top_pair(0)
     log.info(render_heatmap(routing, tier=0, pair=top))
     return 0
+
+
+def _service_start(args) -> int:
+    from repro.service.daemon import (FlowService, ServiceConfig,
+                                      ServiceError)
+    config = ServiceConfig(
+        socket_path=args.socket,
+        store_root=args.store or DEFAULT_STORE,
+        budget_bytes=args.budget_mb * (1 << 20),
+        flow_workers=args.flow_workers,
+    )
+    if args.detach:
+        import subprocess
+        from repro.service.client import wait_for_service
+        argv = [sys.executable, "-m", "repro", "service", "start",
+                "--socket", config.socket_path,
+                "--store", config.store_root,
+                "--budget-mb", str(args.budget_mb),
+                "--flow-workers", str(args.flow_workers),
+                "--log-level", args.log_level]
+        log_dir = Path(config.store_root)
+        log_dir.mkdir(parents=True, exist_ok=True)
+        log_file = open(log_dir / "daemon.log", "ab")
+        proc = subprocess.Popen(argv, stdout=log_file, stderr=log_file,
+                                start_new_session=True)
+        wait_for_service(config.socket_path, timeout=120.0)
+        log.info(f"service started: pid {proc.pid}, "
+                 f"socket {config.socket_path}, "
+                 f"store {config.store_root} "
+                 f"(log: {log_dir / 'daemon.log'})")
+        return 0
+    import asyncio
+    try:
+        asyncio.run(FlowService(config).serve())
+    except ServiceError as exc:
+        log.error(str(exc))
+        return 1
+    except KeyboardInterrupt:           # pragma: no cover - interactive
+        log.info("interrupted; service stopped")
+    return 0
+
+
+def _service_client(args):
+    from repro.service.client import ServiceClient
+    return ServiceClient(args.socket,
+                         timeout=getattr(args, "timeout", 900.0))
+
+
+def _service_stop(args) -> int:
+    response = _service_client(args).shutdown()
+    log.info(f"service on {args.socket}: "
+             f"{'stopped' if response.get('ok') else response}")
+    return 0 if response.get("ok") else 1
+
+
+def _service_status(args) -> int:
+    response = _service_client(args).status()
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("ok") else 1
+    log.info(f"service pid {response['pid']} on {response['socket']} "
+             f"(uptime {response['uptime_s']:.0f}s)")
+    log.info(f"  queue depth {response['queue_depth']}, "
+             f"inflight {response['inflight']}, "
+             f"flow workers {response['flow_workers']}")
+    store = response["store"]
+    log.info(f"  store {store['root']}: {store['entries']} artifacts, "
+             f"{store['bytes'] / 1e6:.1f} MB "
+             f"of {store['budget_bytes'] / 1e6:.0f} MB")
+    counters = response["metrics"]["counters"]
+    for name in sorted(counters):
+        if name.startswith(("service.", "store.")):
+            log.info(f"  {name:<32} {counters[name]:>10.0f}")
+    return 0 if response.get("ok") else 1
+
+
+def _service_submit(args) -> int:
+    response = _service_client(args).submit_flow(
+        benchmark=args.benchmark, selector=args.selector,
+        seed=args.seed, with_scan=args.with_scan,
+        dft_strategy=args.dft_strategy, freq_mhz=args.freq_mhz,
+        workers=args.workers,
+        place_region_parallel=args.place_region_parallel,
+        save_report=args.save_report)
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0 if response.get("ok") else 1
+    if not response.get("ok"):
+        log.error(f"flow request failed: {response.get('error')}")
+        return 1
+    source = "artifact replay" if response["cached"] else "cold compute"
+    log.info(f"{response['benchmark']} — selector "
+             f"{response['selector']} ({source}, "
+             f"{response['serve_s']:.3f}s served"
+             f"{', deduped' if response.get('deduped') else ''})")
+    for key, value in response["row"].items():
+        log.info(f"  {key:<18} {value:>12.3f}" if isinstance(value, float)
+                 else f"  {key:<18} {value:>12}")
+    if response.get("artifacts"):
+        for kind, path in response["artifacts"].items():
+            log.info(f"  artifact[{kind}] {path}")
+    return 0
+
+
+def _cmd_service(args) -> int:
+    handler = {"start": _service_start, "stop": _service_stop,
+               "status": _service_status, "submit": _service_submit}
+    return handler[args.service_command](args)
 
 
 def _cmd_export(args) -> int:
@@ -235,7 +378,64 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(export)
     export.add_argument("--out", required=True)
 
-    for command in (listing, flow, table, timing, congestion, export):
+    service = sub.add_parser(
+        "service", help="flow-as-a-service daemon (start|stop|status|"
+                        "submit)")
+    ssub = service.add_subparsers(dest="service_command", required=True)
+
+    def _add_socket(parser):
+        parser.add_argument("--socket", default=DEFAULT_SOCKET,
+                            help=f"daemon unix socket "
+                                 f"(default: {DEFAULT_SOCKET})")
+
+    s_start = ssub.add_parser("start", help="run the daemon")
+    _add_socket(s_start)
+    s_start.add_argument("--store", default=None,
+                         help=f"artifact store root "
+                              f"(default: {DEFAULT_STORE})")
+    s_start.add_argument("--budget-mb", type=_positive_int, default=2048,
+                         help="store size budget in MB (LRU eviction)")
+    s_start.add_argument("--flow-workers", type=_positive_int, default=1,
+                         help="concurrent flow executions")
+    s_start.add_argument("--detach", action="store_true",
+                         help="fork into the background and return "
+                              "once the socket answers")
+
+    s_stop = ssub.add_parser("stop", help="shut the daemon down")
+    _add_socket(s_stop)
+
+    s_status = ssub.add_parser("status",
+                               help="queue/store/metrics snapshot")
+    _add_socket(s_status)
+    s_status.add_argument("--json", action="store_true",
+                          help="print the raw status JSON")
+
+    s_submit = ssub.add_parser("submit", help="submit one flow request")
+    _add_socket(s_submit)
+    s_submit.add_argument("--benchmark", default="maeri16_hetero",
+                          choices=sorted(BENCHMARKS))
+    s_submit.add_argument("--selector", default="gnn",
+                          choices=list(SELECTORS))
+    s_submit.add_argument("--seed", type=int,
+                          default=DEFAULT_EXPERIMENT_SEED)
+    s_submit.add_argument("--with-scan", action="store_true")
+    s_submit.add_argument("--dft-strategy", default=None,
+                          choices=("net-based", "wire-based"))
+    s_submit.add_argument("--freq-mhz", type=float, default=None,
+                          help="override the benchmark target clock")
+    s_submit.add_argument("--workers", type=_positive_int, default=1)
+    s_submit.add_argument("--place-region-parallel",
+                          action="store_true")
+    s_submit.add_argument("--save-report", action="store_true",
+                          help="also report the on-disk FlowReport "
+                               "artifact paths")
+    s_submit.add_argument("--timeout", type=float, default=900.0,
+                          help="client wait budget in seconds")
+    s_submit.add_argument("--json", action="store_true",
+                          help="print the raw response JSON")
+
+    for command in (listing, flow, table, timing, congestion, export,
+                    s_start, s_stop, s_status, s_submit):
         _add_obs(command)
 
     args = parser.parse_args(argv)
@@ -249,6 +449,7 @@ def main(argv: list[str] | None = None) -> int:
         "timing": _cmd_timing,
         "congestion": _cmd_congestion,
         "export": _cmd_export,
+        "service": _cmd_service,
     }[args.command]
     code = handler(args)
     if args.trace:

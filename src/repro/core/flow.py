@@ -10,7 +10,6 @@ The :class:`FlowReport` carries every number Tables IV-VI print.
 
 from __future__ import annotations
 
-import hashlib
 import time
 import weakref
 from collections import OrderedDict
@@ -190,29 +189,68 @@ def _note_prepare_runtime(design: Design, seconds: float) -> None:
         pass
 
 
+def stage_generate(factory: NetlistFactory, tech: TechSetup,
+                   seeds: SeedBundle) -> Netlist:
+    """Prepare stage 1: build (or import) the netlist.
+
+    Pure in (factory, tech libraries, seed): the generators draw only
+    from their own named seed streams, so skipping this stage — e.g.
+    restoring its artifact from the service store — leaves every later
+    stage's randomness untouched.
+    """
+    with trace.span("prepare.generate"):
+        return factory(tech.libraries, seeds)
+
+
+def stage_partition(netlist: Netlist):
+    """Prepare stage 2: memory-on-logic tier assignment (pure)."""
+    with trace.span("prepare.partition"):
+        return partition_memory_on_logic(netlist)
+
+
+def stage_place(netlist: Netlist, tiers, seeds: SeedBundle,
+                config: FlowConfig):
+    """Prepare stage 3: placement; returns (placement, floorplan).
+
+    Deterministic in (netlist, tiers, region-parallel flag) — worker
+    fan-out is bit-identical by the placement equivalence suite, and
+    nothing here reads the clock target, so frequency sweeps share one
+    placement artifact.
+    """
+    with trace.span("prepare.place"):
+        return place_design(netlist, tiers, seeds,
+                            parallel=config.parallel,
+                            region_parallel=config.place_region_parallel)
+
+
+def stage_finish(design: Design, config: FlowConfig) -> Design:
+    """Prepare stages 4-6: level shifters, optional scan, buffering.
+
+    Mutates and returns *design*; the first stage that depends on the
+    target frequency (buffer sizing reads the clock period)."""
+    with trace.span("prepare.level_shifters"):
+        plan = default_power_plan(design)
+        insert_level_shifters(design, plan)
+    if config.with_scan:
+        from repro.dft.scan import insert_scan
+        with trace.span("prepare.scan"):
+            insert_scan(design)
+    with trace.span("prepare.buffer"):
+        insert_buffers(design)
+    return design
+
+
 def prepare_design(factory: NetlistFactory, tech: TechSetup,
                    seeds: SeedBundle, config: FlowConfig) -> Design:
     """Stages shared by every selector: generate through buffering."""
     t0 = time.perf_counter()
     with trace.span("flow.prepare"):
-        with trace.span("prepare.generate"):
-            netlist = factory(tech.libraries, seeds)
+        netlist = stage_generate(factory, tech, seeds)
         design = Design(netlist, tech, config.target_freq_mhz)
-        with trace.span("prepare.partition"):
-            design.tiers = partition_memory_on_logic(netlist)
-        with trace.span("prepare.place"):
-            design.placement, design.floorplan = place_design(
-                netlist, design.tiers, seeds, parallel=config.parallel,
-                region_parallel=config.place_region_parallel)
-        with trace.span("prepare.level_shifters"):
-            plan = default_power_plan(design)
-            insert_level_shifters(design, plan)
-        if config.with_scan:
-            from repro.dft.scan import insert_scan
-            with trace.span("prepare.scan"):
-                insert_scan(design)
-        with trace.span("prepare.buffer"):
-            insert_buffers(design)
+        design.tiers = stage_partition(netlist)
+        design.placement, design.floorplan = stage_place(
+            netlist, design.tiers, seeds, config)
+        stage_finish(design, config)
     _note_prepare_runtime(design, time.perf_counter() - t0)
     return design
 
@@ -231,15 +269,20 @@ def _prepare_cache_key(factory: NetlistFactory, tech: TechSetup,
                        seeds: SeedBundle, config: FlowConfig) -> tuple:
     """Everything prepare_design's output depends on.
 
-    ``tech`` is keyed by value (content digest) so fresh-but-equal
-    TechSetup instances — e.g. BenchmarkSpec.tech() called once per
-    selector — share one entry.  Only the config fields prepare
-    actually reads participate.
+    Derivation is shared with the persistent artifact store
+    (:mod:`repro.service.keys`) so the in-memory LRU and the on-disk
+    cache can never disagree about which config fields matter.  ``tech``
+    is keyed by value (content digest) so fresh-but-equal TechSetup
+    instances share one entry.  Factories the canonicalizer cannot
+    content-fingerprint (ad-hoc test closures over live objects) fall
+    back to identity: the factory object itself joins the key, which
+    also pins its ``id`` against reuse for the entry's lifetime.
     """
-    tech_digest = hashlib.sha256(dumps_snapshot(tech)).hexdigest()
-    return (factory, tech_digest, seeds.seed,
-            config.target_freq_mhz, config.with_scan,
-            config.place_region_parallel)
+    from repro.service.keys import prepare_key
+    key = prepare_key(factory, tech, seeds, config)
+    if key.stable:
+        return (key.kind, key.hexdigest)
+    return (key.kind, key.hexdigest, factory)
 
 
 def prepare_design_cached(factory: NetlistFactory, tech: TechSetup,

@@ -17,10 +17,11 @@ from repro.harness.designs import (BenchmarkSpec, get_benchmark,
                                    DEFAULT_EXPERIMENT_SEED)
 from repro.mls import route_with_mls
 from repro.parallel import ParallelConfig
+from repro.service.keys import flow_key
 from repro.timing import (IncrementalSta, extract_worst_paths,
                           net_whatif_delta)
 
-#: (benchmark key, selector, scan, dft, seed, workers) -> FlowReport
+#: (flow content key, workers[, factory]) -> FlowReport
 _FLOW_CACHE: dict[tuple, FlowReport] = {}
 
 
@@ -29,36 +30,52 @@ def run_benchmark_flow(spec: BenchmarkSpec, selector: str,
                        dft_strategy: str | None = None,
                        seed: int = DEFAULT_EXPERIMENT_SEED,
                        parallel: ParallelConfig | None = None,
-                       place_region_parallel: bool = False) -> FlowReport:
+                       place_region_parallel: bool = False,
+                       store=None) -> FlowReport:
     """Run (or fetch) one cached flow.
 
-    *parallel* only changes wall-clock, never results (the equivalence
-    suite locks that), but it participates in the memo key so repeat
-    invocations with different worker counts measure honestly.
-    *place_region_parallel* does change the placement (deterministic,
-    quality-held — see repro.place.bisection), so it keys both this
-    memo and the prepare cache.
+    The memo key is the shared content key from
+    :mod:`repro.service.keys` — the same derivation the persistent
+    store uses — plus the worker count: *parallel* only changes
+    wall-clock, never results (the equivalence suite locks that), but
+    repeat invocations with different worker counts must measure
+    honestly.  Factories without a stable content fingerprint key by
+    identity, exactly like the prepare LRU.
+
+    Pass *store* (an :class:`repro.service.ArtifactStore`) to read
+    through / write back the persistent artifact cache — warm
+    invocations then skip generate/partition/place/buffer or replay
+    the whole stored report.
     """
     parallel = parallel or ParallelConfig()
-    key = (spec.key, selector, with_scan, dft_strategy, seed,
-           parallel.workers, place_region_parallel)
+    config = FlowConfig(
+        selector=selector,
+        target_freq_mhz=spec.target_freq_mhz,
+        num_paths=spec.num_paths,
+        num_labeled=spec.num_labeled,
+        with_scan=with_scan,
+        dft_strategy=dft_strategy,
+        activity=spec.activity,
+        parallel=parallel,
+        place_region_parallel=place_region_parallel,
+    )
+    content = flow_key(spec.factory, spec.tech(), spec.seeds(seed),
+                       config)
+    key: tuple = (content.hexdigest, parallel.workers)
+    if not content.stable:
+        key += (spec.factory,)
     if key not in _FLOW_CACHE:
-        config = FlowConfig(
-            selector=selector,
-            target_freq_mhz=spec.target_freq_mhz,
-            num_paths=spec.num_paths,
-            num_labeled=spec.num_labeled,
-            with_scan=with_scan,
-            dft_strategy=dft_strategy,
-            activity=spec.activity,
-            parallel=parallel,
-            place_region_parallel=place_region_parallel,
-        )
-        design = prepare_design_cached(spec.factory, spec.tech(),
-                                       spec.seeds(seed), config)
-        _FLOW_CACHE[key] = run_flow(spec.factory, spec.tech(),
-                                    spec.seeds(seed), config,
-                                    design=design)
+        if store is not None:
+            from repro.service.stages import run_flow_stored
+            report, _summary, _cached = run_flow_stored(
+                spec.factory, spec.tech(), spec.seeds(seed), config,
+                store, need_report=True)
+        else:
+            design = prepare_design_cached(spec.factory, spec.tech(),
+                                           spec.seeds(seed), config)
+            report = run_flow(spec.factory, spec.tech(),
+                              spec.seeds(seed), config, design=design)
+        _FLOW_CACHE[key] = report
     return _FLOW_CACHE[key]
 
 

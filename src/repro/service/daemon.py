@@ -1,0 +1,335 @@
+"""Flow-as-a-service: an asyncio job daemon over a unix socket.
+
+One daemon process owns an :class:`ArtifactStore` and serves flow
+requests from any number of clients.  The protocol is one JSON object
+per line in both directions; ops:
+
+``ping``      liveness probe;
+``status``    queue depth, in-flight keys, run metrics, store stats;
+``flow``      run (or replay) one benchmark flow; responds with the
+              table row, the report digest, timing breakdown and —
+              on request — the on-disk paths of the pickled
+              :class:`FlowReport` artifacts;
+``shutdown``  drain nothing, stop now (the store is crash-safe:
+              every artifact write is atomic).
+
+Scheduling is FIFO over an :class:`asyncio.Queue` with *flow_workers*
+consumer tasks, each running the (numpy-heavy, GIL-releasing) flow in
+a thread executor so the event loop keeps accepting connections.
+**Identical concurrent requests are deduplicated**: the second
+arrival awaits the first one's future instead of enqueueing — N
+clients submitting the same cell of a sweep matrix cost one compute.
+Distinct requests proceed independently.  Completed results live in
+the store, so dedup only needs to cover the in-flight window.
+
+Every request runs under a ``service.request`` span and feeds the
+process-wide :mod:`repro.obs` metrics (``service.requests``,
+``service.dedup_hits``, ``service.flow_computes``,
+``service.flow_summary_hits``, ``store.*``), which ``status`` reports
+back to clients — the concurrency test suite asserts dedup through
+exactly this surface.
+
+Tracing note: the span stack is process-global, so per-request traces
+are only well-nested with ``flow_workers=1`` (the default).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from threading import Thread
+
+from repro.errors import FlowError
+from repro.obs import get_logger, metrics, trace
+from repro.service.store import (ArtifactStore, DEFAULT_BUDGET_BYTES,
+                                 DEFAULT_COMPRESS_LEVEL)
+
+log = get_logger("repro.service.daemon")
+
+#: Protocol revision, echoed by ``ping``/``status``.
+PROTOCOL_VERSION = 1
+
+#: Fields of a ``flow`` request that identify the computation.  This
+#: tuple is the *dedup* key (request-level, cheap to derive in the
+#: event loop); content-level equivalence across differently-phrased
+#: requests is still caught by the store's content keys.
+_FLOW_REQUEST_FIELDS = ("benchmark", "selector", "seed", "with_scan",
+                        "dft_strategy", "freq_mhz",
+                        "place_region_parallel", "workers")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon deployment knobs."""
+
+    socket_path: str
+    store_root: str
+    budget_bytes: int = DEFAULT_BUDGET_BYTES
+    compress_level: int = DEFAULT_COMPRESS_LEVEL
+    #: Concurrent flow executions.  1 keeps traces well-nested and
+    #: benchmark wall-clocks honest; raise it for throughput.
+    flow_workers: int = 1
+
+
+class ServiceError(FlowError):
+    """Daemon-level failure (bad request, socket in use...)."""
+
+
+def _flow_dedup_key(request: dict) -> tuple:
+    return tuple(request.get(f) for f in _FLOW_REQUEST_FIELDS)
+
+
+def build_flow_config(request: dict):
+    """(spec, FlowConfig, SeedBundle) for one ``flow`` request."""
+    from repro.core.flow import FlowConfig
+    from repro.harness.designs import (DEFAULT_EXPERIMENT_SEED,
+                                       get_benchmark)
+    from repro.parallel import ParallelConfig
+
+    spec = get_benchmark(request.get("benchmark", "maeri16_hetero"))
+    seed = int(request.get("seed") or DEFAULT_EXPERIMENT_SEED)
+    config = FlowConfig(
+        selector=request.get("selector", "gnn"),
+        target_freq_mhz=float(request.get("freq_mhz")
+                              or spec.target_freq_mhz),
+        num_paths=spec.num_paths,
+        num_labeled=spec.num_labeled,
+        with_scan=bool(request.get("with_scan", False)),
+        dft_strategy=request.get("dft_strategy"),
+        activity=spec.activity,
+        parallel=ParallelConfig(workers=int(request.get("workers") or 1)),
+        place_region_parallel=bool(request.get("place_region_parallel",
+                                               False)),
+    )
+    return spec, config, spec.seeds(seed)
+
+
+class FlowService:
+    """The daemon; construct, then :meth:`serve` (or
+    :func:`start_in_thread` for in-process embedding)."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.store = ArtifactStore(config.store_root,
+                                   budget_bytes=config.budget_bytes,
+                                   compress_level=config.compress_level)
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.flow_workers,
+            thread_name_prefix="repro-flow")
+        self._stop = asyncio.Event()
+        self._started_at = time.time()
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def serve(self) -> None:
+        """Bind the socket and serve until a ``shutdown`` request."""
+        self._loop = asyncio.get_running_loop()
+        path = Path(self.config.socket_path)
+        await self._claim_socket(path)
+        server = await asyncio.start_unix_server(self._handle_conn,
+                                                 path=str(path))
+        workers = [asyncio.create_task(self._worker())
+                   for _ in range(self.config.flow_workers)]
+        log.info(f"repro service listening on {path} "
+                 f"(store: {self.store.root}, "
+                 f"workers: {self.config.flow_workers})")
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in workers:
+                task.cancel()
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            path.unlink(missing_ok=True)
+            log.info("repro service stopped")
+
+    async def _claim_socket(self, path: Path) -> None:
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            return
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_unix_connection(str(path)), timeout=2.0)
+        except (OSError, asyncio.TimeoutError):
+            log.warning(f"removing stale service socket {path}")
+            path.unlink(missing_ok=True)
+            return
+        writer.close()
+        raise ServiceError(f"service already running on {path}")
+
+    def request_shutdown(self) -> None:
+        self._stop.set()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            while not self._stop.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    response = await self._dispatch(json.loads(line))
+                except (FlowError, ValueError, KeyError,
+                        TypeError) as exc:
+                    metrics.inc("service.errors")
+                    response = {"ok": False, "error": repr(exc)}
+                writer.write(json.dumps(response, default=str).encode()
+                             + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        metrics.inc("service.requests")
+        metrics.inc(f"service.requests.{op}")
+        if op == "ping":
+            return {"ok": True, "op": "ping", "pid": os.getpid(),
+                    "protocol": PROTOCOL_VERSION}
+        if op == "status":
+            return self._status()
+        if op == "shutdown":
+            self.request_shutdown()
+            return {"ok": True, "op": "shutdown"}
+        if op == "flow":
+            return await self._op_flow(request)
+        raise ServiceError(f"unknown op {op!r}")
+
+    def _status(self) -> dict:
+        return {
+            "ok": True,
+            "op": "status",
+            "pid": os.getpid(),
+            "protocol": PROTOCOL_VERSION,
+            "socket": self.config.socket_path,
+            "uptime_s": time.time() - self._started_at,
+            "queue_depth": self._queue.qsize(),
+            "inflight": len(self._inflight),
+            "flow_workers": self.config.flow_workers,
+            "store": self.store.stats(),
+            "metrics": metrics.snapshot(),
+        }
+
+    # -- the flow op ---------------------------------------------------------
+
+    async def _op_flow(self, request: dict) -> dict:
+        key = _flow_dedup_key(request)
+        t0 = time.perf_counter()
+        future = self._inflight.get(key)
+        if future is not None:
+            metrics.inc("service.dedup_hits")
+            deduped = True
+        else:
+            deduped = False
+            future = self._loop.create_future()
+            self._inflight[key] = future
+            await self._queue.put((key, request, future))
+            metrics.set_gauge("service.queue_depth", self._queue.qsize())
+        try:
+            response = dict(await asyncio.shield(future))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            metrics.inc("service.errors")
+            return {"ok": False, "error": repr(exc)}
+        response["deduped"] = deduped
+        response["wait_s"] = time.perf_counter() - t0
+        metrics.add_time("service.request_wait_s",
+                         time.perf_counter() - t0)
+        return response
+
+    async def _worker(self) -> None:
+        while True:
+            key, request, future = await self._queue.get()
+            try:
+                result = await self._loop.run_in_executor(
+                    self._executor, self._run_flow_job, request)
+            except Exception as exc:           # surfaced per-awaiter
+                self._inflight.pop(key, None)
+                if not future.done():
+                    future.set_exception(exc)
+                continue
+            finally:
+                self._queue.task_done()
+                metrics.set_gauge("service.queue_depth",
+                                  self._queue.qsize())
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_result(result)
+
+    def _run_flow_job(self, request: dict) -> dict:
+        """Executor-thread body: store lookup or full flow compute."""
+        from repro.service.stages import (flow_artifact_paths,
+                                          run_flow_stored)
+        spec, config, seeds = build_flow_config(request)
+        want_report = bool(request.get("save_report", False))
+        with trace.span("service.request", op="flow",
+                        benchmark=spec.key, selector=config.selector):
+            t0 = time.perf_counter()
+            report, summary, cached = run_flow_stored(
+                spec.factory, spec.tech(), seeds, config, self.store,
+                need_report=want_report)
+            elapsed = time.perf_counter() - t0
+        metrics.add_time("service.flow_serve_s", elapsed)
+        response = {
+            "ok": True,
+            "op": "flow",
+            "benchmark": spec.key,
+            "selector": config.selector,
+            "cached": cached,
+            "serve_s": elapsed,
+            "row": summary["row"],
+            "report_digest": summary["report_digest"],
+            "runtime_s": summary["runtime_s"],
+            "stage_runtime_s": summary["stage_runtime_s"],
+        }
+        if want_report:
+            response["artifacts"] = flow_artifact_paths(
+                spec.factory, spec.tech(), seeds, config, self.store)
+        return response
+
+
+# -- embedding helpers --------------------------------------------------------
+
+
+class ServiceHandle:
+    """A daemon running on a background thread (tests, benchmarks)."""
+
+    def __init__(self, service: FlowService, thread: Thread):
+        self.service = service
+        self.thread = thread
+
+    def stop(self, timeout: float = 30.0) -> None:
+        loop = self.service._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.service.request_shutdown)
+        self.thread.join(timeout=timeout)
+
+
+def start_in_thread(config: ServiceConfig,
+                    ready_timeout: float = 30.0) -> ServiceHandle:
+    """Start a :class:`FlowService` on a daemon thread and wait until
+    its socket answers ``ping``."""
+    from repro.service.client import ServiceClient, wait_for_service
+
+    service = FlowService(config)
+    thread = Thread(target=lambda: asyncio.run(service.serve()),
+                    name="repro-service", daemon=True)
+    thread.start()
+    wait_for_service(config.socket_path, timeout=ready_timeout)
+    # One sanity ping so callers start from a known-good connection.
+    ServiceClient(config.socket_path).ping()
+    return ServiceHandle(service, thread)

@@ -1,0 +1,252 @@
+"""Canonical content-hash keys for flow artifacts.
+
+Every cache in the repo — the in-process prepare LRU
+(:func:`repro.core.flow.prepare_design_cached`), the per-process flow
+memo (:func:`repro.harness.tables.run_benchmark_flow`) and the on-disk
+:class:`repro.service.store.ArtifactStore` — derives its keys here, so
+"what makes two runs the same" has exactly one definition.
+
+A key digests *content*, never identity: the netlist factory (module
+path + closure/default values + bytecode hash), a SHA-256 over the
+pickled :class:`~repro.design.TechSetup`, the experiment seed, and the
+flow-config fields that can change results.  ``ParallelConfig`` is
+deliberately excluded — worker counts change wall-clock, never output
+(the equivalence suites lock that) — while ``place_region_parallel``
+*is* keyed because region-parallel placement legitimately differs from
+the serial joint solve.
+
+Stage keys are prefix-shaped on purpose: ``generate``/``partition``
+depend only on (factory, tech, seed), ``place`` adds the
+region-parallel flag, and ``prepared`` adds target frequency + scan.
+A frequency or scan sweep therefore shares the expensive placement
+artifact across every cell of the sweep.
+
+Objects the canonicalizer cannot fingerprint (ad-hoc test stand-ins,
+closures over live designs) degrade to *unstable* keys: still unique
+within the process — :func:`canonical` folds in ``id()`` and the
+in-memory caches retain the object alongside the key so ids can never
+be recycled into a collision — but refused by the persistent store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.parallel import dumps_snapshot
+
+#: Bump to invalidate every previously-derived key (schema change in
+#: what a key covers, not in the artifact payload format — the store
+#: has its own version for that).
+KEY_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ContentKey:
+    """One addressable artifact identity.
+
+    ``stable`` is False when any input could only be fingerprinted by
+    object identity — such keys work for in-memory memoization (the
+    caches keep the object alive, pinning its id) but must never be
+    persisted.
+    """
+
+    kind: str
+    hexdigest: str
+    stable: bool = True
+
+    @property
+    def short(self) -> str:
+        return self.hexdigest[:12]
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        mark = "" if self.stable else "!unstable"
+        return f"{self.kind}:{self.short}{mark}"
+
+
+@dataclass(frozen=True)
+class PrepareKeys:
+    """Stage-artifact keys for one prepare chain (see module doc)."""
+
+    generate: ContentKey       # Netlist
+    partition: ContentKey      # TierAssignment (carries the netlist)
+    place: ContentKey          # (Placement, Floorplan)
+    prepared: ContentKey       # fully buffered Design
+
+    @property
+    def stable(self) -> bool:
+        return self.prepared.stable
+
+
+def canonical(obj: Any, unstable: list | None = None) -> Any:
+    """JSON-ready canonical form of *obj*, deterministic across
+    processes for the types keys are built from.
+
+    Unrepresentable leaves become ``"@<type>:<id>"`` markers and flag
+    *unstable* (a one-element-appended list used as an out-param).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # json repr round-trips doubles exactly in CPython.
+        return obj
+    if isinstance(obj, (bytes, bytearray)):
+        return {"__bytes__": hashlib.sha256(bytes(obj)).hexdigest()}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: dict[str, Any] = {
+            "__dataclass__":
+                f"{type(obj).__module__}.{type(obj).__qualname__}"}
+        for field in dataclasses.fields(obj):
+            out[field.name] = canonical(getattr(obj, field.name), unstable)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item, unstable) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        members = [canonical(item, unstable) for item in obj]
+        return {"__set__": sorted(members, key=lambda m: json.dumps(
+            m, sort_keys=True, default=str))}
+    if isinstance(obj, dict):
+        return {"__dict__": sorted(
+            ([canonical(k, unstable), canonical(v, unstable)]
+             for k, v in obj.items()),
+            key=lambda kv: json.dumps(kv[0], sort_keys=True, default=str))}
+    # numpy scalars sneak into configs via arithmetic; unwrap them.
+    item = getattr(obj, "item", None)
+    if callable(item) and getattr(obj, "shape", None) == ():
+        return canonical(obj.item(), unstable)
+    if callable(obj):
+        return factory_token(obj, unstable)
+    if unstable is not None:
+        unstable.append(type(obj).__qualname__)
+    return f"@{type(obj).__module__}.{type(obj).__qualname__}:{id(obj):x}"
+
+
+def factory_token(fn: Callable, unstable: list | None = None) -> Any:
+    """Content fingerprint of a netlist factory (or any callable).
+
+    Precedence: an explicit ``__content_token__`` attribute (used e.g.
+    by the Verilog-import factory, which hashes the file bytes);
+    ``functools.partial`` recurses; plain functions fingerprint as
+    module-qualified name + closure cell values + defaults + a SHA-256
+    of the bytecode, so editing the factory body invalidates its keys.
+    """
+    token = getattr(fn, "__content_token__", None)
+    if token is not None:
+        return {"__factory_token__": str(token)}
+    if isinstance(fn, functools.partial):
+        return {"__partial__": factory_token(fn.func, unstable),
+                "args": canonical(fn.args, unstable),
+                "kwargs": canonical(fn.keywords, unstable)}
+    bound = getattr(fn, "__self__", None)
+    if bound is not None:
+        return {"__method__": f"{getattr(fn, '__qualname__', '?')}",
+                "self": canonical(bound, unstable)}
+    out: dict[str, Any] = {
+        "__factory__":
+            f"{getattr(fn, '__module__', '?')}."
+            f"{getattr(fn, '__qualname__', '?')}"}
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        out["code"] = hashlib.sha256(code.co_code).hexdigest()
+        cells = getattr(fn, "__closure__", None) or ()
+        if cells:
+            closure = {}
+            for var, cell in zip(code.co_freevars, cells):
+                try:
+                    value = cell.cell_contents
+                except ValueError:          # empty cell
+                    value = "<empty>"
+                closure[var] = canonical(value, unstable)
+            out["closure"] = {"__dict__": sorted(
+                ([k, v] for k, v in closure.items()),
+                key=lambda kv: kv[0])}
+        defaults = getattr(fn, "__defaults__", None)
+        if defaults:
+            out["defaults"] = canonical(defaults, unstable)
+    elif not isinstance(fn, type):
+        # Callable instance with opaque state: identity only.
+        if unstable is not None:
+            unstable.append(type(fn).__qualname__)
+        out["instance"] = f"@{id(fn):x}"
+    return out
+
+
+def digest_key(kind: str, payload: Any) -> ContentKey:
+    """Hash a canonical *payload* into a :class:`ContentKey`."""
+    unstable: list = []
+    value = canonical(payload, unstable)
+    blob = json.dumps({"schema": KEY_SCHEMA_VERSION, "kind": kind,
+                       "key": value},
+                      sort_keys=True, default=str).encode("utf-8")
+    return ContentKey(kind, hashlib.sha256(blob).hexdigest(),
+                      stable=not unstable)
+
+
+def tech_digest(tech) -> str:
+    """SHA-256 over the pickled tech setup — equal-by-construction
+    :class:`~repro.design.TechSetup` instances share one digest."""
+    return hashlib.sha256(dumps_snapshot(tech)).hexdigest()
+
+
+def _base(factory, tech, seeds) -> dict:
+    return {"factory": factory, "tech": tech_digest(tech),
+            "seed": int(seeds.seed)}
+
+
+def prepare_stage_keys(factory, tech, seeds, config) -> PrepareKeys:
+    """Keys for the four prepare artifacts of one flow configuration.
+
+    *config* is a :class:`repro.core.flow.FlowConfig` (anything with
+    the same field names works).  Only the fields each stage chain
+    actually consumes participate — see the module docstring.
+    """
+    base = _base(factory, tech, seeds)
+    place = dict(base,
+                 region_parallel=bool(config.place_region_parallel))
+    prepared = dict(place,
+                    freq_mhz=float(config.target_freq_mhz),
+                    scan=bool(config.with_scan))
+    return PrepareKeys(
+        generate=digest_key("prepare.generate", base),
+        partition=digest_key("prepare.partition", base),
+        place=digest_key("prepare.place", place),
+        prepared=digest_key("prepare.design", prepared),
+    )
+
+
+def prepare_key(factory, tech, seeds, config) -> ContentKey:
+    """The fully-prepared-design key (what the prepare LRU uses)."""
+    return prepare_stage_keys(factory, tech, seeds, config).prepared
+
+
+#: FlowConfig fields excluded from flow keys: parallelism changes
+#: wall-clock only (locked by the equivalence suites), never results.
+_RESULT_NEUTRAL_CONFIG_FIELDS = frozenset({"parallel"})
+
+
+def config_fingerprint(config) -> Any:
+    """Canonical form of every result-relevant flow-config field."""
+    out = {}
+    for field in dataclasses.fields(config):
+        if field.name in _RESULT_NEUTRAL_CONFIG_FIELDS:
+            continue
+        out[field.name] = getattr(config, field.name)
+    return out
+
+
+def flow_key(factory, tech, seeds, config) -> ContentKey:
+    """Key of one complete flow run's :class:`FlowReport`."""
+    payload = dict(_base(factory, tech, seeds),
+                   config=config_fingerprint(config))
+    return digest_key("flow.report", payload)
+
+
+def flow_summary_key(factory, tech, seeds, config) -> ContentKey:
+    """Key of the lightweight (row + digests) flow summary artifact."""
+    payload = dict(_base(factory, tech, seeds),
+                   config=config_fingerprint(config))
+    return digest_key("flow.summary", payload)

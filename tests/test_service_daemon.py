@@ -1,0 +1,321 @@
+"""Async flow-daemon concurrency suite (in-process daemon).
+
+Each test boots a real :class:`FlowService` on a background thread —
+real unix socket, real asyncio loop, real executor — against a
+throwaway artifact store, then hammers it with blocking
+:class:`ServiceClient` threads exactly as external processes would.
+
+Contracts locked here:
+
+* N concurrent *identical* submissions run the flow exactly once —
+  every arrival either joins the in-flight future (dedup) or replays
+  the finished artifact, observable through the ``service.*`` metrics
+  the ``status`` op reports (at any ``flow_workers`` count);
+* distinct requests are independent — two seeds, two computes, two
+  report digests;
+* a worker that crashes mid-flow surfaces the error to its waiters,
+  leaves **no** flow artifact in the store (completed prepare-stage
+  artifacts are fine — they are whole), clears the in-flight table,
+  and the daemon keeps serving;
+* socket hygiene — a stale socket file is reclaimed, a live one
+  refuses a second daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import shutil
+import tempfile
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.daemon import (FlowService, ServiceConfig,
+                                  ServiceError, start_in_thread)
+
+BENCH = "maeri16_hetero"
+
+
+class _Counters:
+    """Delta view over the process-global metrics registry."""
+
+    _NAMES = ("service.flow_computes", "service.dedup_hits",
+              "service.flow_summary_hits", "service.flow_report_hits",
+              "service.errors", "store.puts.flow.report",
+              "store.puts.flow.summary", "store.hits.prepare.design")
+
+    def __init__(self):
+        self._base = {n: metrics.counter(n) for n in self._NAMES}
+
+    def delta(self, name: str) -> float:
+        return metrics.counter(name) - self._base[name]
+
+    def replays(self) -> float:
+        return (self.delta("service.dedup_hits")
+                + self.delta("service.flow_summary_hits")
+                + self.delta("service.flow_report_hits"))
+
+
+class _Daemon:
+    def __init__(self, handle, socket_path, store_root):
+        self.handle = handle
+        self.socket_path = socket_path
+        self.store_root = store_root
+
+    def client(self, timeout: float = 300.0) -> ServiceClient:
+        return ServiceClient(self.socket_path, timeout=timeout)
+
+    def flow_blobs(self) -> list:
+        objects = os.path.join(self.store_root, "objects")
+        found = []
+        for sub, _dirs, files in os.walk(objects):
+            found += [f for f in files if f.startswith("flow.")]
+        return found
+
+
+def _start(tmp_path, flow_workers: int = 1) -> _Daemon:
+    # Unix socket paths are length-limited (~104 bytes); pytest tmp
+    # dirs can blow that, so sockets live in their own short dir.
+    sockdir = tempfile.mkdtemp(prefix="rsvc-", dir="/tmp")
+    store_root = str(tmp_path / "store")
+    config = ServiceConfig(socket_path=os.path.join(sockdir, "s.sock"),
+                           store_root=store_root,
+                           flow_workers=flow_workers)
+    handle = start_in_thread(config)
+    return _Daemon(handle, config.socket_path, store_root)
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    running = _start(tmp_path)
+    yield running
+    running.handle.stop()
+    shutil.rmtree(os.path.dirname(running.socket_path),
+                  ignore_errors=True)
+
+
+def _submit_many(daemon: _Daemon, payloads: list[dict]) -> list[dict]:
+    """Fire all payloads at the daemon simultaneously (one thread
+    each, barrier-released) and collect the responses in order."""
+    responses: list = [None] * len(payloads)
+    barrier = threading.Barrier(len(payloads))
+
+    def worker(idx: int, payload: dict) -> None:
+        client = daemon.client()
+        barrier.wait()
+        responses[idx] = client.submit_flow(**payload)
+
+    threads = [threading.Thread(target=worker, args=(i, p))
+               for i, p in enumerate(payloads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    assert all(r is not None for r in responses)
+    return responses
+
+
+class TestProtocol:
+    def test_ping_status_shutdown(self, daemon):
+        client = daemon.client()
+        pong = client.ping()
+        assert pong["ok"] and pong["pid"] == os.getpid()
+        status = client.status()
+        assert status["ok"]
+        assert status["queue_depth"] == 0
+        assert status["inflight"] == 0
+        assert status["flow_workers"] == 1
+        assert status["store"]["entries"] == 0
+        assert "service.requests" in status["metrics"]["counters"]
+
+    def test_unknown_op_is_an_error_not_a_crash(self, daemon):
+        client = daemon.client()
+        counters = _Counters()
+        response = client.request({"op": "frobnicate"})
+        assert not response["ok"]
+        assert "frobnicate" in response["error"]
+        assert counters.delta("service.errors") == 1
+        assert client.ping()["ok"]      # daemon survived
+
+    def test_bad_flow_request_is_an_error(self, daemon):
+        client = daemon.client()
+        response = client.submit_flow(benchmark="no_such_benchmark")
+        assert not response["ok"]
+        assert "no_such_benchmark" in response["error"]
+        assert client.ping()["ok"]
+
+
+class TestDedup:
+    @pytest.mark.parametrize("flow_workers", [1, 3])
+    def test_identical_submissions_compute_once(self, tmp_path,
+                                                flow_workers):
+        daemon = _start(tmp_path, flow_workers=flow_workers)
+        try:
+            counters = _Counters()
+            n = 8
+            payload = dict(benchmark=BENCH, selector="none")
+            responses = _submit_many(daemon, [payload] * n)
+            assert all(r["ok"] for r in responses)
+            digests = {r["report_digest"] for r in responses}
+            assert len(digests) == 1
+            rows = [r["row"] for r in responses]
+            assert all(row == rows[0] for row in rows)
+            # The flow ran exactly once; every other arrival either
+            # joined the in-flight future or replayed the artifact.
+            assert counters.delta("service.flow_computes") == 1
+            assert counters.replays() == n - 1
+            status = daemon.client().status()
+            assert status["inflight"] == 0
+            assert status["queue_depth"] == 0
+        finally:
+            daemon.handle.stop()
+
+    def test_distinct_requests_independent(self, daemon):
+        counters = _Counters()
+        responses = _submit_many(daemon, [
+            dict(benchmark=BENCH, selector="none", seed=1),
+            dict(benchmark=BENCH, selector="none", seed=2),
+        ])
+        assert all(r["ok"] for r in responses)
+        assert counters.delta("service.flow_computes") == 2
+        assert counters.delta("service.dedup_hits") == 0
+        assert responses[0]["report_digest"] != \
+            responses[1]["report_digest"]
+
+    def test_warm_resubmission_replays_artifact(self, daemon):
+        counters = _Counters()
+        payload = dict(benchmark=BENCH, selector="none")
+        cold = daemon.client().submit_flow(**payload)
+        warm = daemon.client().submit_flow(**payload)
+        assert not cold["cached"] and warm["cached"]
+        assert warm["report_digest"] == cold["report_digest"]
+        assert warm["row"] == cold["row"]
+        assert counters.delta("service.flow_computes") == 1
+        assert counters.delta("service.flow_summary_hits") == 1
+
+    @pytest.mark.slow
+    def test_mixed_storm_any_worker_count(self, tmp_path):
+        """16 mixed submissions, 4 workers: three distinct cells, each
+        computed exactly once, everything else deduped/replayed."""
+        daemon = _start(tmp_path, flow_workers=4)
+        try:
+            counters = _Counters()
+            cells = [dict(benchmark=BENCH, selector="none", seed=s)
+                     for s in (1, 2, 3)]
+            payloads = [cells[i % 3] for i in range(16)]
+            responses = _submit_many(daemon, payloads)
+            assert all(r["ok"] for r in responses)
+            assert counters.delta("service.flow_computes") == 3
+            assert counters.replays() == 16 - 3
+            by_seed = {}
+            for payload, response in zip(payloads, responses):
+                by_seed.setdefault(payload["seed"],
+                                   set()).add(response["report_digest"])
+            assert all(len(d) == 1 for d in by_seed.values())
+            assert len(set().union(*by_seed.values())) == 3
+        finally:
+            daemon.handle.stop()
+
+
+class TestCrashRecovery:
+    def test_crashed_flow_leaves_no_flow_artifact(self, daemon,
+                                                  monkeypatch):
+        import repro.service.stages as stages
+
+        def exploding_run_flow(*args, **kwargs):
+            raise RuntimeError("simulated mid-flow crash")
+
+        monkeypatch.setattr(stages, "run_flow", exploding_run_flow)
+        counters = _Counters()
+        response = daemon.client().submit_flow(benchmark=BENCH,
+                                               selector="none")
+        assert not response["ok"]
+        assert "simulated mid-flow crash" in response["error"]
+        # No flow.report / flow.summary blob may exist — crashes must
+        # never publish partial results.
+        assert daemon.flow_blobs() == []
+        assert counters.delta("store.puts.flow.report") == 0
+        assert counters.delta("store.puts.flow.summary") == 0
+        status = daemon.client().status()
+        assert status["ok"] and status["inflight"] == 0
+        # The daemon recovers: un-patch, resubmit, and the completed
+        # prepare artifacts from before the crash are reused.
+        monkeypatch.undo()
+        retry = daemon.client().submit_flow(benchmark=BENCH,
+                                            selector="none")
+        assert retry["ok"] and not retry["cached"]
+        assert counters.delta("service.flow_computes") == 2
+        assert counters.delta("store.hits.prepare.design") == 1
+        assert len(daemon.flow_blobs()) == 2
+
+    def test_crash_surfaces_to_every_deduped_waiter(self, daemon,
+                                                    monkeypatch):
+        import repro.service.stages as stages
+
+        release = threading.Event()
+
+        def stalling_crash(*args, **kwargs):
+            release.wait(timeout=30)
+            raise RuntimeError("deferred crash")
+
+        monkeypatch.setattr(stages, "run_flow_stored", stalling_crash)
+        payload = dict(benchmark=BENCH, selector="none")
+        responses: list = [None] * 3
+        barrier = threading.Barrier(4)
+
+        def submit(idx):
+            client = daemon.client()
+            barrier.wait()
+            responses[idx] = client.submit_flow(**payload)
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        barrier.wait()                  # all three are in flight
+        release.set()
+        for t in threads:
+            t.join(timeout=60)
+        assert all(r is not None and not r["ok"] for r in responses)
+        assert all("deferred crash" in r["error"] for r in responses)
+        assert daemon.client().status()["inflight"] == 0
+
+
+class TestSocketHygiene:
+    def test_stale_socket_reclaimed(self, tmp_path):
+        sockdir = tempfile.mkdtemp(prefix="rsvc-", dir="/tmp")
+        socket_path = os.path.join(sockdir, "s.sock")
+        open(socket_path, "wb").close()     # dead leftover
+        config = ServiceConfig(socket_path=socket_path,
+                               store_root=str(tmp_path / "store"))
+        handle = start_in_thread(config)
+        try:
+            assert ServiceClient(socket_path).ping()["ok"]
+        finally:
+            handle.stop()
+            shutil.rmtree(sockdir, ignore_errors=True)
+
+    def test_live_socket_refuses_second_daemon(self, daemon, tmp_path):
+        config = ServiceConfig(socket_path=daemon.socket_path,
+                               store_root=str(tmp_path / "store2"))
+        with pytest.raises(ServiceError, match="already running"):
+            asyncio.run(FlowService(config).serve())
+        # ... and the original daemon is unharmed.
+        assert daemon.client().ping()["ok"]
+
+    def test_shutdown_removes_socket(self, tmp_path):
+        running = _start(tmp_path)
+        sockdir = os.path.dirname(running.socket_path)
+        try:
+            assert running.client().shutdown()["ok"]
+            running.handle.thread.join(timeout=30)
+            assert not running.handle.thread.is_alive()
+            assert not os.path.exists(running.socket_path)
+            with pytest.raises(ServiceUnavailable):
+                ServiceClient(running.socket_path, timeout=1.0).ping()
+        finally:
+            running.handle.stop()
+            shutil.rmtree(sockdir, ignore_errors=True)

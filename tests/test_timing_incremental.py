@@ -256,16 +256,22 @@ class TestPrepareCacheBound:
                 generate_a7_dual_core, hetero_tech,
                 SeedBundle(seed), config)
 
+        def key_of(seed):
+            # The LRU keys by the shared content-hash derivation.
+            from repro.service.keys import prepare_key
+            key = prepare_key(generate_a7_dual_core, hetero_tech,
+                              SeedBundle(seed), config)
+            assert key.stable
+            return (key.kind, key.hexdigest)
+
         assert prep(1) == ("stub", 1)
         assert prep(2) == ("stub", 2)
         assert prep(3) == ("stub", 3)
         assert len(flow_mod._PREPARE_CACHE) == 2
         # Seed 1 was least recently used -> evicted; 2 and 3 remain.
-        keys = list(flow_mod._PREPARE_CACHE)
-        assert [k[2] for k in keys] == [2, 3]
+        assert list(flow_mod._PREPARE_CACHE) == [key_of(2), key_of(3)]
         # Re-touching seed 2 makes 3 the eviction candidate.
         prep(2)
         prep(4)
-        keys = list(flow_mod._PREPARE_CACHE)
-        assert [k[2] for k in keys] == [2, 4]
+        assert list(flow_mod._PREPARE_CACHE) == [key_of(2), key_of(4)]
         flow_mod.clear_prepare_cache()
