@@ -154,11 +154,14 @@ def _cmd_flow(args) -> int:
     spec = get_benchmark(args.benchmark)
     if args.verilog:
         spec = _verilog_spec(spec, args.verilog)
+    store = _store(args)
     report = run_benchmark_flow(spec, args.selector, seed=args.seed,
                                 parallel=_parallel_config(args),
                                 place_region_parallel=
                                 args.place_region_parallel,
-                                store=_store(args))
+                                store=store)
+    if store is not None:
+        store.flush()           # persist batched recency updates
     log.info(f"{spec.paper_name} — selector {args.selector}")
     for key, value in report.row().items():
         log.info(f"  {key:<18} {value:>12.3f}" if isinstance(value, float)
@@ -199,11 +202,14 @@ def _cmd_table(args) -> int:
 def _cmd_timing(args) -> int:
     from repro.timing.report import render_summary
     spec = get_benchmark(args.benchmark)
+    store = _store(args)
     report = run_benchmark_flow(spec, args.selector, seed=args.seed,
                                 parallel=_parallel_config(args),
                                 place_region_parallel=
                                 args.place_region_parallel,
-                                store=_store(args))
+                                store=store)
+    if store is not None:
+        store.flush()
     log.info(render_summary(report.final_sta, num_paths=args.paths))
     return 0
 
@@ -211,11 +217,14 @@ def _cmd_timing(args) -> int:
 def _cmd_congestion(args) -> int:
     from repro.route.report import render_heatmap, render_utilization
     spec = get_benchmark(args.benchmark)
+    store = _store(args)
     report = run_benchmark_flow(spec, args.selector, seed=args.seed,
                                 parallel=_parallel_config(args),
                                 place_region_parallel=
                                 args.place_region_parallel,
-                                store=_store(args))
+                                store=store)
+    if store is not None:
+        store.flush()
     routing = report.design.require_routing()
     log.info(render_utilization(routing))
     log.info("")

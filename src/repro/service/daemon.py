@@ -92,7 +92,9 @@ def build_flow_config(request: dict):
     from repro.parallel import ParallelConfig
 
     spec = get_benchmark(request.get("benchmark", "maeri16_hetero"))
-    seed = int(request.get("seed") or DEFAULT_EXPERIMENT_SEED)
+    # `or` would swallow an explicit seed=0; only None means "default".
+    seed = request.get("seed")
+    seed = DEFAULT_EXPERIMENT_SEED if seed is None else int(seed)
     config = FlowConfig(
         selector=request.get("selector", "gnn"),
         target_freq_mhz=float(request.get("freq_mhz")
@@ -149,6 +151,7 @@ class FlowService:
             for task in workers:
                 task.cancel()
             self._executor.shutdown(wait=False, cancel_futures=True)
+            self.store.flush()
             path.unlink(missing_ok=True)
             log.info("repro service stopped")
 

@@ -7,7 +7,8 @@ memo (:func:`repro.harness.tables.run_benchmark_flow`) and the on-disk
 "what makes two runs the same" has exactly one definition.
 
 A key digests *content*, never identity: the netlist factory (module
-path + closure/default values + bytecode hash), a SHA-256 over the
+path + closure/default values + a code fingerprint covering bytecode,
+constant pool, names and nested code objects), a SHA-256 over the
 pickled :class:`~repro.design.TechSetup`, the experiment seed, and the
 flow-config fields that can change results.  ``ParallelConfig`` is
 deliberately excluded — worker counts change wall-clock, never output
@@ -34,6 +35,7 @@ import dataclasses
 import functools
 import hashlib
 import json
+import types
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -41,8 +43,11 @@ from repro.parallel import dumps_snapshot
 
 #: Bump to invalidate every previously-derived key (schema change in
 #: what a key covers, not in the artifact payload format — the store
-#: has its own version for that).
-KEY_SCHEMA_VERSION = 1
+#: has its own version for that).  2: factory bytecode fingerprints
+#: cover co_consts/co_names/co_freevars and nested code objects, not
+#: co_code alone (constants are referenced by index, so a literal
+#: edit used to leave co_code byte-identical).
+KEY_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -118,11 +123,33 @@ def canonical(obj: Any, unstable: list | None = None) -> Any:
     item = getattr(obj, "item", None)
     if callable(item) and getattr(obj, "shape", None) == ():
         return canonical(obj.item(), unstable)
+    if isinstance(obj, types.CodeType):
+        return _code_fingerprint(obj, unstable)
     if callable(obj):
         return factory_token(obj, unstable)
     if unstable is not None:
         unstable.append(type(obj).__qualname__)
     return f"@{type(obj).__module__}.{type(obj).__qualname__}:{id(obj):x}"
+
+
+def _code_fingerprint(code: types.CodeType,
+                      unstable: list | None = None) -> Any:
+    """Canonical content form of one code object.
+
+    Bytecode references constants and names *by index*, so ``co_code``
+    alone is blind to literal edits (``bandwidth=8`` -> ``16`` leaves
+    it byte-identical).  The fingerprint therefore covers the constant
+    pool, name tables and free variables too, recursing into nested
+    code objects (inner functions, lambdas, comprehensions) found in
+    ``co_consts``.
+    """
+    return {
+        "__code__": hashlib.sha256(code.co_code).hexdigest(),
+        "consts": [canonical(const, unstable)
+                   for const in code.co_consts],
+        "names": list(code.co_names),
+        "freevars": list(code.co_freevars),
+    }
 
 
 def factory_token(fn: Callable, unstable: list | None = None) -> Any:
@@ -131,8 +158,10 @@ def factory_token(fn: Callable, unstable: list | None = None) -> Any:
     Precedence: an explicit ``__content_token__`` attribute (used e.g.
     by the Verilog-import factory, which hashes the file bytes);
     ``functools.partial`` recurses; plain functions fingerprint as
-    module-qualified name + closure cell values + defaults + a SHA-256
-    of the bytecode, so editing the factory body invalidates its keys.
+    module-qualified name + closure cell values + defaults + the
+    :func:`_code_fingerprint` of their code object (bytecode, constant
+    pool, names, free variables, nested code), so editing the factory
+    body — including a bare literal — invalidates its keys.
     """
     token = getattr(fn, "__content_token__", None)
     if token is not None:
@@ -151,7 +180,7 @@ def factory_token(fn: Callable, unstable: list | None = None) -> Any:
             f"{getattr(fn, '__qualname__', '?')}"}
     code = getattr(fn, "__code__", None)
     if code is not None:
-        out["code"] = hashlib.sha256(code.co_code).hexdigest()
+        out["code"] = _code_fingerprint(code, unstable)
         cells = getattr(fn, "__closure__", None) or ()
         if cells:
             closure = {}

@@ -25,8 +25,16 @@ Keys whose inputs could not be content-fingerprinted
 (``ContentKey.stable == False``) are refused on both paths — an
 identity-keyed artifact served to another process would be a lie.
 
-All operations take one re-entrant lock: the async daemon calls in
-from executor threads.
+Concurrency model: a process-local re-entrant lock guards index
+mutation only — blob IO, checksumming and (un)pickling run outside it,
+so daemon executor threads don't serialize on multi-MB payloads.
+Recency touches are batched (flushed on put/eviction/corruption and
+every :data:`TOUCH_FLUSH_INTERVAL` reads) instead of rewriting the
+index per ``get``.  Across processes, every index write happens under
+an advisory ``flock`` on ``index.lock`` and *merges* the on-disk view
+first (adopting other writers' entries, dropping ones whose blobs were
+evicted), so a CLI ``--store`` run and a live daemon sharing one root
+cannot clobber each other's bookkeeping.
 """
 
 from __future__ import annotations
@@ -37,9 +45,15 @@ import json
 import os
 import struct
 import zlib
+from contextlib import contextmanager
 from pathlib import Path
 from threading import RLock
 from typing import Any, Optional
+
+try:
+    import fcntl
+except ImportError:              # pragma: no cover - non-POSIX
+    fcntl = None
 
 from repro.obs import get_logger, metrics, trace
 from repro.parallel import dumps_snapshot, loads_snapshot
@@ -61,6 +75,12 @@ DEFAULT_BUDGET_BYTES = 2 << 30
 #: zlib level: decompression speed is what warm paths pay; 6 buys
 #: little over 3 here and costs 3x the compress time on 17 MB reports.
 DEFAULT_COMPRESS_LEVEL = 3
+
+#: Recency touches accumulated before the index is persisted on a
+#: read-only path (puts/evictions flush immediately).  Losing up to
+#: this many LRU-order updates in a crash only skews eviction order,
+#: never correctness — blobs are self-validating.
+TOUCH_FLUSH_INTERVAL = 64
 
 _tmp_counter = itertools.count()
 
@@ -121,11 +141,14 @@ class ArtifactStore:
         self._objects = self.root / "objects"
         self._tmp = self.root / "tmp"
         self._index_path = self.root / "index.json"
+        self._index_lock_path = self.root / "index.lock"
         self._objects.mkdir(parents=True, exist_ok=True)
         self._tmp.mkdir(parents=True, exist_ok=True)
         #: hexdigest -> {"kind", "size", "seq"}
         self._entries: dict[str, dict] = {}
         self._seq = 0
+        self._dirty = False
+        self._touches_since_flush = 0
         self._load_index()
 
     # -- index ---------------------------------------------------------------
@@ -158,7 +181,69 @@ class ArtifactStore:
             self._entries[hexdigest] = {
                 "kind": kind, "size": path.stat().st_size, "seq": 0}
         if self._entries or reason is not None:
+            with self._ipc_lock():
+                self._save_index()
+        self._dirty = False
+        self._touches_since_flush = 0
+
+    @contextmanager
+    def _ipc_lock(self):
+        """Advisory inter-process lock serializing index writes.
+
+        Blobs are content-addressed and written atomically, so only
+        the index read-modify-write needs cross-process exclusion;
+        without it two processes sharing one root (a CLI ``--store``
+        run next to a live daemon) would last-writer-win each other's
+        size/recency bookkeeping.
+        """
+        if fcntl is None:        # pragma: no cover - non-POSIX
+            yield
+            return
+        fd = os.open(self._index_lock_path,
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def _flush_index(self) -> None:
+        """Persist bookkeeping (caller holds the process lock): merge
+        concurrent writers' on-disk view, then write atomically."""
+        with self._ipc_lock():
+            self._merge_index_from_disk()
             self._save_index()
+        self._dirty = False
+        self._touches_since_flush = 0
+
+    def _merge_index_from_disk(self) -> None:
+        """Fold another process's index state into ours (under the
+        inter-process lock).  Entries only they know are adopted when
+        the blob still exists; entries only we know are kept unless
+        their blob is gone (the other side evicted it); shared entries
+        take the freshest access sequence."""
+        try:
+            data = json.loads(self._index_path.read_text())
+            if data.get("schema") != STORE_SCHEMA_VERSION:
+                return
+            disk = dict(data["entries"])
+        except (FileNotFoundError, ValueError, KeyError,
+                TypeError, OSError):
+            return
+        for hexdigest, entry in disk.items():
+            ours = self._entries.get(hexdigest)
+            if ours is None:
+                if self._blob_path(hexdigest, entry["kind"]).exists():
+                    self._entries[hexdigest] = dict(entry)
+            else:
+                ours["seq"] = max(ours["seq"], entry.get("seq", 0))
+        for hexdigest in [h for h in self._entries if h not in disk]:
+            entry = self._entries[hexdigest]
+            if not self._blob_path(hexdigest, entry["kind"]).exists():
+                del self._entries[hexdigest]
+        self._seq = max([self._seq] + [e.get("seq", 0)
+                                       for e in self._entries.values()])
 
     def _save_index(self) -> None:
         blob = json.dumps({"schema": STORE_SCHEMA_VERSION,
@@ -175,8 +260,10 @@ class ArtifactStore:
 
     def object_path(self, key: ContentKey) -> Path:
         """Where *key*'s blob lives (exists only after a put)."""
-        return (self._objects / key.hexdigest[:2]
-                / f"{key.kind}-{key.hexdigest}.bin")
+        return self._blob_path(key.hexdigest, key.kind)
+
+    def _blob_path(self, hexdigest: str, kind: str) -> Path:
+        return self._objects / hexdigest[:2] / f"{kind}-{hexdigest}.bin"
 
     # -- operations ----------------------------------------------------------
 
@@ -185,74 +272,89 @@ class ArtifactStore:
         if not key.stable:
             metrics.inc("store.unstable_key_skips")
             return None
-        with self._lock:
-            path = self.object_path(key)
+        path = self.object_path(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            metrics.inc("store.misses")
+            metrics.inc(f"store.misses.{key.kind}")
+            return None
+        # Validation + unpickling run lock-free: the blob bytes are in
+        # hand and immutable, so concurrent readers never serialize on
+        # multi-MB payload work.
+        with trace.span("store.get", kind=key.kind, key=key.short):
             try:
-                blob = path.read_bytes()
-            except FileNotFoundError:
+                obj = read_artifact_bytes(blob)
+            except ArtifactCorruptError as exc:
+                metrics.inc("store.corrupt")
+                log.warning(f"corrupt artifact {key}: {exc}; "
+                            f"dropping and treating as a miss")
+                path.unlink(missing_ok=True)
+                with self._lock:
+                    self._entries.pop(key.hexdigest, None)
+                    self._flush_index()
                 metrics.inc("store.misses")
                 metrics.inc(f"store.misses.{key.kind}")
                 return None
-            with trace.span("store.get", kind=key.kind, key=key.short):
-                try:
-                    obj = read_artifact_bytes(blob)
-                except ArtifactCorruptError as exc:
-                    metrics.inc("store.corrupt")
-                    log.warning(f"corrupt artifact {key}: {exc}; "
-                                f"dropping and treating as a miss")
-                    path.unlink(missing_ok=True)
-                    if key.hexdigest in self._entries:
-                        del self._entries[key.hexdigest]
-                        self._save_index()
-                    metrics.inc("store.misses")
-                    metrics.inc(f"store.misses.{key.kind}")
-                    return None
+        with self._lock:
             self._touch(key, len(blob))
-            metrics.inc("store.hits")
-            metrics.inc(f"store.hits.{key.kind}")
-            return obj
+        metrics.inc("store.hits")
+        metrics.inc(f"store.hits.{key.kind}")
+        return obj
 
     def _touch(self, key: ContentKey, size: int) -> None:
+        """Refresh recency (caller holds the lock); persistence is
+        batched — see :data:`TOUCH_FLUSH_INTERVAL`."""
         self._seq += 1
         entry = self._entries.setdefault(
             key.hexdigest, {"kind": key.kind, "size": size, "seq": 0})
         entry["seq"] = self._seq
-        self._save_index()
+        self._dirty = True
+        self._touches_since_flush += 1
+        if self._touches_since_flush >= TOUCH_FLUSH_INTERVAL:
+            self._flush_index()
 
     def put(self, key: ContentKey, obj: Any) -> bool:
         """Persist *obj* under *key* atomically; False when refused."""
         if not key.stable:
             metrics.inc("store.unstable_key_skips")
             return False
-        with self._lock:
-            path = self.object_path(key)
-            if path.exists():
-                # Content-addressed: an existing blob is the same
-                # bytes; just refresh recency.
+        path = self.object_path(key)
+        if path.exists():
+            # Content-addressed: an existing blob is the same bytes;
+            # just refresh recency.
+            with self._lock:
                 self._touch(key, path.stat().st_size)
-                return True
-            with trace.span("store.put", kind=key.kind, key=key.short):
-                blob = write_artifact_bytes(obj, self.compress_level)
-                tmp = self._tmp / (f"put-{os.getpid()}"
-                                   f"-{next(_tmp_counter)}")
-                try:
-                    with open(tmp, "wb") as fh:
-                        fh.write(blob)
-                        fh.flush()
-                        os.fsync(fh.fileno())
-                    path.parent.mkdir(parents=True, exist_ok=True)
-                    os.replace(tmp, path)
-                finally:
-                    tmp.unlink(missing_ok=True)
-            self._touch(key, len(blob))
-            metrics.inc("store.puts")
-            metrics.inc(f"store.puts.{key.kind}")
-            self._evict(keep=key.hexdigest)
-            metrics.set_gauge("store.bytes", self.total_bytes())
             return True
+        # Pickle + compress + write outside the lock; os.replace makes
+        # the publish atomic even if another thread races the same key
+        # (same content either way).
+        with trace.span("store.put", kind=key.kind, key=key.short):
+            blob = write_artifact_bytes(obj, self.compress_level)
+            tmp = self._tmp / (f"put-{os.getpid()}"
+                               f"-{next(_tmp_counter)}")
+            try:
+                with open(tmp, "wb") as fh:
+                    fh.write(blob)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                path.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
+        with self._lock:
+            self._touch(key, len(blob))
+            self._evict(keep=key.hexdigest)
+            self._flush_index()
+            total = self.total_bytes()
+        metrics.inc("store.puts")
+        metrics.inc(f"store.puts.{key.kind}")
+        metrics.set_gauge("store.bytes", total)
+        return True
 
     def _evict(self, keep: str) -> None:
-        """Drop least-recently-used entries until under budget."""
+        """Drop least-recently-used entries until under budget (caller
+        holds the lock and flushes the index afterwards)."""
         while self.total_bytes() > self.budget_bytes:
             victims = sorted(
                 (entry["seq"], hexdigest)
@@ -262,13 +364,12 @@ class ArtifactStore:
                 break
             _, hexdigest = victims[0]
             entry = self._entries.pop(hexdigest)
-            victim = (self._objects / hexdigest[:2]
-                      / f"{entry['kind']}-{hexdigest}.bin")
-            victim.unlink(missing_ok=True)
+            self._blob_path(hexdigest, entry["kind"]).unlink(
+                missing_ok=True)
             metrics.inc("store.evictions")
             log.debug(f"evicted {entry['kind']}:{hexdigest[:12]} "
                       f"({entry['size']} bytes)")
-            self._save_index()
+            self._dirty = True
 
     # -- introspection -------------------------------------------------------
 
@@ -289,10 +390,17 @@ class ArtifactStore:
                     "budget_bytes": self.budget_bytes,
                     "kinds": dict(sorted(kinds.items()))}
 
+    def flush(self) -> None:
+        """Persist any batched recency updates (daemon shutdown, end
+        of a CLI invocation)."""
+        with self._lock:
+            if self._dirty:
+                self._flush_index()
+
     def clear(self) -> None:
         """Drop every artifact (tests, ``service`` cache resets)."""
         with self._lock:
             for path in self._objects.glob("*/*.bin"):
                 path.unlink(missing_ok=True)
             self._entries = {}
-            self._save_index()
+            self._flush_index()

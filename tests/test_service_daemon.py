@@ -118,6 +118,20 @@ def _submit_many(daemon: _Daemon, payloads: list[dict]) -> list[dict]:
     return responses
 
 
+class TestRequestParsing:
+    def test_explicit_seed_zero_is_honored(self):
+        """Regression: ``or``-defaulting silently replaced an explicit
+        seed=0 with the default experiment seed."""
+        from repro.harness.designs import DEFAULT_EXPERIMENT_SEED
+        from repro.service.daemon import build_flow_config
+
+        assert DEFAULT_EXPERIMENT_SEED != 0
+        _, _, seeds = build_flow_config({"benchmark": BENCH, "seed": 0})
+        assert seeds.seed == 0
+        _, _, defaulted = build_flow_config({"benchmark": BENCH})
+        assert defaulted.seed == DEFAULT_EXPERIMENT_SEED
+
+
 class TestProtocol:
     def test_ping_status_shutdown(self, daemon):
         client = daemon.client()

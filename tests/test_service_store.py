@@ -56,6 +56,38 @@ def _maeri_factory_wide(libraries, seeds):
                           libraries, seeds)
 
 
+def _same_name_factory(wide: bool):
+    """Two factories with identical qualnames and identical co_code —
+    bytecode references constants by index, so a literal-only edit
+    (bandwidth 4 -> 8; both distinct from pe_count so the const
+    tables keep the same shape) is invisible to a co_code hash."""
+    if wide:
+        def factory(libraries, seeds):
+            return generate_maeri(MaeriConfig(pe_count=16, bandwidth=8),
+                                  libraries, seeds)
+    else:
+        def factory(libraries, seeds):
+            return generate_maeri(MaeriConfig(pe_count=16, bandwidth=4),
+                                  libraries, seeds)
+    return factory
+
+
+def _nested_literal_factory(wide: bool):
+    """Same trap one level down: the differing literal lives in a
+    *nested* code object stored in the outer factory's co_consts."""
+    if wide:
+        def factory(libraries, seeds):
+            def config():
+                return MaeriConfig(pe_count=16, bandwidth=8)
+            return generate_maeri(config(), libraries, seeds)
+    else:
+        def factory(libraries, seeds):
+            def config():
+                return MaeriConfig(pe_count=16, bandwidth=4)
+            return generate_maeri(config(), libraries, seeds)
+    return factory
+
+
 BASE_CONFIG = FlowConfig(selector="none", target_freq_mhz=1500.0)
 
 #: field name -> perturbed value.  ``None`` marks result-neutral
@@ -183,6 +215,33 @@ class TestKeyDerivation:
                                                         bandwidth=16))
         ka = flow_key(p8, tech, _seeds(), BASE_CONFIG)
         kb = flow_key(p16, tech, _seeds(), BASE_CONFIG)
+        assert ka.stable and kb.stable
+        assert ka.hexdigest != kb.hexdigest
+
+    def test_literal_constant_change_invalidates_key(self, tech):
+        """Regression (REVIEW: co_code-only fingerprint): factories
+        that differ *only* in a literal constant share bytecode, so
+        the key must cover the constant pool too."""
+        narrow, wide = _same_name_factory(False), _same_name_factory(True)
+        # The trap this test pins: identical bytecode, different consts.
+        assert narrow.__code__.co_code == wide.__code__.co_code
+        ka = flow_key(narrow, tech, _seeds(), BASE_CONFIG)
+        kb = flow_key(wide, tech, _seeds(), BASE_CONFIG)
+        assert ka.stable and kb.stable
+        assert ka.hexdigest != kb.hexdigest
+        # Deterministic: an identically-rebuilt factory shares the key.
+        rebuilt = flow_key(_same_name_factory(False), tech, _seeds(),
+                           BASE_CONFIG)
+        assert rebuilt.hexdigest == ka.hexdigest
+
+    def test_nested_code_literal_change_invalidates_key(self, tech):
+        """The constant pool is recursed: a literal edit inside an
+        inner function (a code object in co_consts) moves the key."""
+        narrow = _nested_literal_factory(False)
+        wide = _nested_literal_factory(True)
+        assert narrow.__code__.co_code == wide.__code__.co_code
+        ka = flow_key(narrow, tech, _seeds(), BASE_CONFIG)
+        kb = flow_key(wide, tech, _seeds(), BASE_CONFIG)
         assert ka.stable and kb.stable
         assert ka.hexdigest != kb.hexdigest
 
@@ -359,6 +418,34 @@ class TestArtifactStore:
         assert store.get(survivors[0]) is not None
         store.put(_key("evict-final"), payload)
         assert store.contains(survivors[0])
+
+    def test_two_handles_on_one_root_merge_index(self, tmp_path):
+        """Regression: index writes were last-writer-wins, so a CLI
+        run sharing a live daemon's store root clobbered its entries.
+        Writers must merge under the inter-process lock: every blob
+        stays accounted (LRU budget enforceable) and one handle's
+        evictions propagate instead of resurrecting."""
+        root = tmp_path / "store"
+        a = ArtifactStore(root)
+        b = ArtifactStore(root)         # opened before a's first put
+        ka, kb = _key("writer-a"), _key("writer-b")
+        assert a.put(ka, {"payload": "a" * 256})
+        assert b.put(kb, {"payload": "b" * 256})
+        index = json.loads((root / "index.json").read_text())
+        assert ka.hexdigest in index["entries"]     # b kept a's entry
+        assert kb.hexdigest in index["entries"]
+        fresh = ArtifactStore(root)
+        assert fresh.stats()["entries"] == 2
+        assert fresh.total_bytes() == sum(
+            p.stat().st_size
+            for p in (root / "objects").glob("*/*.bin"))
+        # Deletions propagate too: after a clears, b's next flush must
+        # not resurrect the dead entries from its in-memory view.
+        a.clear()
+        kc = _key("after-clear")
+        assert b.put(kc, {"payload": "c" * 256})
+        index = json.loads((root / "index.json").read_text())
+        assert set(index["entries"]) == {kc.hexdigest}
 
     def test_index_rebuild_from_object_scan(self, tmp_path):
         root = tmp_path / "store"
