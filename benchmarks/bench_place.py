@@ -12,7 +12,15 @@ no-MLS MAERI fabrics and writes ``BENCH_place.json`` at the repo root:
                leaf layout;
 * ``region`` — the opt-in block-Jacobi region-parallel refinement
                (``region_parallel=True``), fanned over the process
-               pool.
+               pool;
+* ``cg``     — the factor-reuse backend (``solver="cg"``): one SuperLU
+               factorization kept as a PCG preconditioner across
+               bisection levels, refactoring only when the anchor
+               perturbation grows past the reuse bound.
+
+Per-leg metric deltas (from the ``place.factor_s`` stat) record what
+share of each leg's wall-clock went into factorization — the quantity
+the cg backend exists to shrink.
 
 Correctness gates (the script exits non-zero on any failure):
 
@@ -20,12 +28,16 @@ Correctness gates (the script exits non-zero on any failure):
   ``reuse_system=False`` (fresh assembly per level) — the cached-vs-
   rebuild contract;
 * region-parallel placement is deterministic across worker counts,
-  legalizes cleanly, and stays within 2% HPWL of the serial placer.
+  legalizes cleanly, and stays within 2% HPWL of the serial placer;
+* the cg placement stays within 2% HPWL of the direct placement.
 
 Speedup is additionally gated in full mode (cached ≥ 3x seed on
 MAERI-128) and loosely in smoke mode — but only when more than one
 core is usable; on a 1-core box the JSON still records timings while
-the gate checks correctness/quality only.
+the gate checks correctness/quality only.  The cg factor-share gate
+on MAERI-128 (share ≤ 30% of the placement leg, or ≥ 1.5x leg
+speedup) applies in full mode at any core count: it measures solver
+economics, not parallel scaling.
 
 Run directly::
 
@@ -52,6 +64,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.errors import PlacementError                          # noqa: E402
 from repro.harness.designs import get_benchmark                  # noqa: E402
+from repro.obs import metrics                                    # noqa: E402
 from repro.parallel import ParallelConfig, usable_cores          # noqa: E402
 from repro.partition import partition_memory_on_logic            # noqa: E402
 from repro.partition.tier import TIER_LOGIC, TIER_MEMORY         # noqa: E402
@@ -63,10 +76,16 @@ from repro.place.placer import _pin_ports                        # noqa: E402
 
 BENCH_JSON = REPO_ROOT / "BENCH_place.json"
 
-#: Allowed relative HPWL delta: cached vs seed, and region vs cached.
+#: Allowed relative HPWL delta: cached vs seed, region vs cached, and
+#: cg vs cached.
 HPWL_TOL = 0.02
 #: Full-mode speedup gate for the cached engine on MAERI-128.
 FULL_SPEEDUP_GATE = 3.0
+#: Full-mode MAERI-128 gate on the cg leg: factorization may take at
+#: most this share of the placement leg's wall-clock ...
+CG_FACTOR_SHARE_GATE = 30.0
+#: ... or, failing that, the cg leg must beat direct by this factor.
+CG_SPEEDUP_GATE = 1.5
 
 # --------------------------------------------------------------------------
 # Frozen seed implementation (pre cached-Laplacian), kept verbatim so the
@@ -404,6 +423,30 @@ def _best_of(fn, repeats: int) -> tuple[float, object]:
     return best, result
 
 
+def _stat_total(name: str) -> float:
+    stat = metrics.snapshot()["stats"].get(name)
+    return stat["total"] if stat else 0.0
+
+
+def _metered_leg(fn, repeats: int) -> tuple[float, object, float, dict]:
+    """_best_of plus the leg's factor-time share and counter deltas.
+
+    Share = ``place.factor_s`` accumulated across *all* repeats divided
+    by total leg wall-clock — a ratio, so best-of jitter cancels.
+    """
+    factor0 = _stat_total("place.factor_s")
+    counters0 = dict(metrics.snapshot()["counters"])
+    t0 = time.perf_counter()
+    best, result = _best_of(fn, repeats)
+    wall = time.perf_counter() - t0
+    factor_s = _stat_total("place.factor_s") - factor0
+    share = factor_s / wall * 100.0 if wall > 0 else 0.0
+    deltas = {name: value - counters0.get(name, 0)
+              for name, value in metrics.snapshot()["counters"].items()
+              if name.startswith("place.")}
+    return best, result, share, deltas
+
+
 def _placements_identical(a: Placement, b: Placement, netlist) -> bool:
     return all(a.of_instance(n) == b.of_instance(n)
                for n in netlist.instances)
@@ -433,8 +476,10 @@ def bench_design(key: str, repeats: int, workers: int) -> dict:
 
     t_seed, (seed_pl, _) = _best_of(
         lambda: _seed_place_design(netlist, tiers), repeats)
-    t_cached, (cached_pl, _) = _best_of(
+    t_cached, (cached_pl, _), share_direct, _ = _metered_leg(
         lambda: place_design(netlist, tiers, seeds), repeats)
+    t_cg, (cg_pl, _), share_cg, cg_counts = _metered_leg(
+        lambda: place_design(netlist, tiers, seeds, solver="cg"), repeats)
     identical = _cached_vs_rebuild_identical(netlist, tiers)
 
     region_cfg = ParallelConfig(workers=workers)
@@ -454,9 +499,16 @@ def bench_design(key: str, repeats: int, workers: int) -> dict:
     except PlacementError:
         region_legal = False
 
+    try:
+        cg_pl.validate()
+        cg_legal = True
+    except PlacementError:
+        cg_legal = False
+
     hpwl_seed = seed_pl.hpwl()
     hpwl_cached = cached_pl.hpwl()
     hpwl_region = region_pl.hpwl()
+    hpwl_cg = cg_pl.hpwl()
     return {
         "design": spec.paper_name,
         "instances": len(netlist.instances),
@@ -464,17 +516,28 @@ def bench_design(key: str, repeats: int, workers: int) -> dict:
         "seed_place_s": round(t_seed, 3),
         "cached_place_s": round(t_cached, 3),
         "region_place_s": round(t_region, 3),
+        "cg_place_s": round(t_cg, 3),
         "speedup_cached_vs_seed": round(t_seed / t_cached, 2),
+        "speedup_cg_vs_direct": round(t_cached / t_cg, 2),
+        "factor_share_direct_pct": round(share_direct, 1),
+        "factor_share_cg_pct": round(share_cg, 1),
+        "cg_factorizations": cg_counts.get("place.factorizations", 0),
+        "cg_factor_reuse": cg_counts.get("place.factor_reuse", 0),
+        "cg_fallbacks": cg_counts.get("place.cg_fallbacks", 0),
         "hpwl_seed": round(hpwl_seed, 2),
         "hpwl_cached": round(hpwl_cached, 2),
         "hpwl_region": round(hpwl_region, 2),
+        "hpwl_cg": round(hpwl_cg, 2),
         "hpwl_cached_delta_pct": round(
             (hpwl_cached - hpwl_seed) / hpwl_seed * 100.0, 3),
         "hpwl_region_delta_pct": round(
             (hpwl_region - hpwl_cached) / hpwl_cached * 100.0, 3),
+        "hpwl_cg_delta_pct": round(
+            (hpwl_cg - hpwl_cached) / hpwl_cached * 100.0, 3),
         "cached_equals_rebuild": identical,
         "region_deterministic": region_deterministic,
         "region_legal": region_legal,
+        "cg_legal": cg_legal,
         "region_workers": workers,
     }
 
@@ -497,6 +560,23 @@ def _gates(rows: list[dict], smoke: bool, cores: int) -> list[str]:
         if row["hpwl_region_delta_pct"] > HPWL_TOL * 100.0:
             failures.append(f"{name}: region HPWL off by "
                             f"{row['hpwl_region_delta_pct']:.2f}%")
+        if not row["cg_legal"]:
+            failures.append(f"{name}: cg placement illegal")
+        if row["hpwl_cg_delta_pct"] > HPWL_TOL * 100.0:
+            failures.append(f"{name}: cg HPWL off by "
+                            f"{row['hpwl_cg_delta_pct']:.2f}%")
+        # Solver economics, valid at any core count: on the big fabric
+        # the cg leg must either get factorization under the share
+        # gate or beat direct outright on wall-clock.
+        if not smoke and "128" in name \
+                and row["factor_share_cg_pct"] > CG_FACTOR_SHARE_GATE \
+                and row["speedup_cg_vs_direct"] < CG_SPEEDUP_GATE:
+            failures.append(
+                f"{name}: cg factor share "
+                f"{row['factor_share_cg_pct']:.1f}% > "
+                f"{CG_FACTOR_SHARE_GATE:.0f}% and speedup "
+                f"{row['speedup_cg_vs_direct']:.2f}x < "
+                f"{CG_SPEEDUP_GATE:.1f}x")
     if cores <= 1:
         # Honest single-core mode: wall-clock on a time-sliced box is
         # noise, so only correctness/quality gate above applies.

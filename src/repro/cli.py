@@ -45,7 +45,7 @@ import os
 import sys
 from pathlib import Path
 
-from repro.core.flow import SELECTORS
+from repro.core.flow import PLACE_SOLVERS, SELECTORS
 from repro.harness.designs import BENCHMARKS, DEFAULT_EXPERIMENT_SEED, \
     get_benchmark
 from repro.harness.tables import run_benchmark_flow
@@ -74,6 +74,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "bisection placement (deterministic at any "
                              "worker count, but placements differ "
                              "slightly from the serial joint solve)")
+    parser.add_argument("--place-solver", default="direct",
+                        choices=list(PLACE_SOLVERS),
+                        help="bisection solve backend: 'direct' "
+                             "factorizes every level (bit-identical "
+                             "baseline), 'cg' reuses one SuperLU "
+                             "factorization as a PCG preconditioner "
+                             "across levels (equal within tolerance, "
+                             "fewer factorizations), 'auto' picks by "
+                             "system size")
+    parser.add_argument("--route-batch", type=float, default=None,
+                        metavar="MS",
+                        help="target milliseconds of routing work per "
+                             "wavefront pool dispatch (speculative "
+                             "multi-wave batching; 0 = one wave per "
+                             "dispatch; default: RouteConfig.batch_ms). "
+                             "Scheduling only — results are identical")
     parser.add_argument("--store", metavar="PATH", default=None,
                         help="persistent content-addressed artifact "
                              "store to read through / write back "
@@ -159,6 +175,8 @@ def _cmd_flow(args) -> int:
                                 parallel=_parallel_config(args),
                                 place_region_parallel=
                                 args.place_region_parallel,
+                                place_solver=args.place_solver,
+                                route_batch_ms=args.route_batch,
                                 store=store)
     if store is not None:
         store.flush()           # persist batched recency updates
@@ -207,6 +225,8 @@ def _cmd_timing(args) -> int:
                                 parallel=_parallel_config(args),
                                 place_region_parallel=
                                 args.place_region_parallel,
+                                place_solver=args.place_solver,
+                                route_batch_ms=args.route_batch,
                                 store=store)
     if store is not None:
         store.flush()
@@ -222,6 +242,8 @@ def _cmd_congestion(args) -> int:
                                 parallel=_parallel_config(args),
                                 place_region_parallel=
                                 args.place_region_parallel,
+                                place_solver=args.place_solver,
+                                route_batch_ms=args.route_batch,
                                 store=store)
     if store is not None:
         store.flush()

@@ -26,6 +26,7 @@ from repro.opt.buffering import insert_buffers
 from repro.parallel import ParallelConfig, dumps_snapshot, loads_snapshot
 from repro.partition import partition_memory_on_logic
 from repro.place import place_design
+from repro.place.system import SOLVERS as PLACE_SOLVERS
 from repro.power import (default_power_plan, estimate_power,
                          insert_level_shifters, PowerReport)
 from repro.pdn.sizing import PdnSizingResult, size_pdn
@@ -84,11 +85,20 @@ class FlowConfig:
     #: solve), though deterministically at any worker count — hence a
     #: separate flag rather than riding on ``parallel`` alone.
     place_region_parallel: bool = False
+    #: Per-level solve backend for the bisection placer:
+    #: ``"direct"`` factorizes every level (bit-identical baseline),
+    #: ``"cg"`` reuses one SuperLU factorization as a PCG
+    #: preconditioner across levels (equal within tolerance),
+    #: ``"auto"`` picks by system size.  See repro.place.system.
+    place_solver: str = "direct"
 
     def __post_init__(self) -> None:
         if self.selector not in SELECTORS:
             raise FlowError(f"unknown selector {self.selector!r}; "
                             f"choose from {SELECTORS}")
+        if self.place_solver not in PLACE_SOLVERS:
+            raise FlowError(f"unknown place solver {self.place_solver!r}; "
+                            f"choose from {PLACE_SOLVERS}")
         if self.dft_strategy is not None \
                 and self.dft_strategy not in DFT_STRATEGIES:
             raise FlowError(f"unknown DFT strategy {self.dft_strategy!r}; "
@@ -212,15 +222,16 @@ def stage_place(netlist: Netlist, tiers, seeds: SeedBundle,
                 config: FlowConfig):
     """Prepare stage 3: placement; returns (placement, floorplan).
 
-    Deterministic in (netlist, tiers, region-parallel flag) — worker
-    fan-out is bit-identical by the placement equivalence suite, and
-    nothing here reads the clock target, so frequency sweeps share one
-    placement artifact.
+    Deterministic in (netlist, tiers, region-parallel flag, solver) —
+    worker fan-out is bit-identical by the placement equivalence
+    suite, and nothing here reads the clock target, so frequency
+    sweeps share one placement artifact.
     """
     with trace.span("prepare.place"):
         return place_design(netlist, tiers, seeds,
                             parallel=config.parallel,
-                            region_parallel=config.place_region_parallel)
+                            region_parallel=config.place_region_parallel,
+                            solver=config.place_solver)
 
 
 def stage_finish(design: Design, config: FlowConfig) -> Design:

@@ -17,6 +17,7 @@ from repro.harness.designs import (BenchmarkSpec, get_benchmark,
                                    DEFAULT_EXPERIMENT_SEED)
 from repro.mls import route_with_mls
 from repro.parallel import ParallelConfig
+from repro.route.router import RouteConfig
 from repro.service.keys import flow_key
 from repro.timing import (IncrementalSta, extract_worst_paths,
                           net_whatif_delta)
@@ -31,6 +32,8 @@ def run_benchmark_flow(spec: BenchmarkSpec, selector: str,
                        seed: int = DEFAULT_EXPERIMENT_SEED,
                        parallel: ParallelConfig | None = None,
                        place_region_parallel: bool = False,
+                       place_solver: str = "direct",
+                       route_batch_ms: float | None = None,
                        store=None) -> FlowReport:
     """Run (or fetch) one cached flow.
 
@@ -48,6 +51,8 @@ def run_benchmark_flow(spec: BenchmarkSpec, selector: str,
     the whole stored report.
     """
     parallel = parallel or ParallelConfig()
+    route = RouteConfig() if route_batch_ms is None \
+        else RouteConfig(batch_ms=route_batch_ms)
     config = FlowConfig(
         selector=selector,
         target_freq_mhz=spec.target_freq_mhz,
@@ -58,6 +63,8 @@ def run_benchmark_flow(spec: BenchmarkSpec, selector: str,
         activity=spec.activity,
         parallel=parallel,
         place_region_parallel=place_region_parallel,
+        place_solver=place_solver,
+        route=route,
     )
     content = flow_key(spec.factory, spec.tech(), spec.seeds(seed),
                        config)

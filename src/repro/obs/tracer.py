@@ -23,6 +23,15 @@ the parent to :meth:`Tracer.merge`.  Span ids are ``"<pid>-<seq>"``
 so ids never collide across processes, and the in-process serial
 fallback (same pid, monotonic seq) stays collision-free too.
 
+The span *stack* is per-thread (``threading.local``): concurrent
+flows in one process — e.g. the service daemon's ``flow_workers``
+executor threads — each nest under their own roots instead of
+interleaving onto one shared stack.  The record buffer stays
+process-wide (list appends are atomic under the GIL), so one
+``write_jsonl`` still serializes every thread's spans.
+:meth:`collect_worker` parks only the calling thread's stack; it is
+meant for single-threaded pool worker processes.
+
 Timestamps are wall-clock microseconds (comparable across processes);
 durations come from ``perf_counter_ns``.  Nothing here is read back
 by any computation — tracing is determinism-safe by construction.
@@ -30,8 +39,10 @@ by any computation — tracing is determinism-safe by construction.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -68,9 +79,11 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         t = self._tracer
-        self.parent_id = t._stack[-1] if t._stack else t._root_parent
+        frame = t._frame()
+        stack = frame.stack
+        self.parent_id = stack[-1] if stack else frame.root_parent
         self.span_id = t._next_id()
-        t._stack.append(self.span_id)
+        stack.append(self.span_id)
         self.ts_us = time.time_ns() // 1000
         self._t0 = time.perf_counter_ns()
         return self
@@ -83,7 +96,7 @@ class _Span:
     def __exit__(self, *exc_info) -> bool:
         dur_us = (time.perf_counter_ns() - self._t0) / 1000.0
         t = self._tracer
-        t._stack.pop()
+        t._frame().stack.pop()
         t._records.append({
             "name": self.name,
             "id": self.span_id,
@@ -96,17 +109,33 @@ class _Span:
         return False
 
 
+class _ThreadFrame:
+    """Per-thread tracer state: the span stack plus the parent id
+    grafted onto its stack-root spans (worker collection)."""
+
+    __slots__ = ("stack", "root_parent")
+
+    def __init__(self) -> None:
+        self.stack: list[str] = []
+        self.root_parent: str | None = None
+
+
 class Tracer:
     """Span recorder; see the module docstring for the model."""
 
     def __init__(self) -> None:
         self._enabled = False
         self._records: list[dict] = []
-        self._stack: list[str] = []
-        #: Parent id grafted onto stack-root spans (worker collection).
-        self._root_parent: str | None = None
-        self._seq = 0
+        self._local = threading.local()
+        #: Atomic under the GIL — threads share one id sequence.
+        self._seq = itertools.count(1)
         self._pid = os.getpid()
+
+    def _frame(self) -> _ThreadFrame:
+        frame = getattr(self._local, "frame", None)
+        if frame is None:
+            frame = self._local.frame = _ThreadFrame()
+        return frame
 
     # -- state ---------------------------------------------------------------
 
@@ -122,11 +151,12 @@ class Tracer:
         self._enabled = False
 
     def reset(self) -> None:
-        """Drop all recorded spans (the seq counter keeps running so
-        ids stay unique across resets)."""
+        """Drop all recorded spans and the calling thread's stack (the
+        seq counter keeps running so ids stay unique across resets)."""
         self._records = []
-        self._stack = []
-        self._root_parent = None
+        frame = self._frame()
+        frame.stack = []
+        frame.root_parent = None
 
     @property
     def records(self) -> list[dict]:
@@ -134,8 +164,7 @@ class Tracer:
         return self._records
 
     def _next_id(self) -> str:
-        self._seq += 1
-        return f"{self._pid:x}-{self._seq:x}"
+        return f"{self._pid:x}-{next(self._seq):x}"
 
     # -- spans ---------------------------------------------------------------
 
@@ -159,7 +188,8 @@ class Tracer:
         """
         if not self._enabled:
             return None
-        return self._stack[-1] if self._stack else ""
+        stack = self._frame().stack
+        return stack[-1] if stack else ""
 
     @contextmanager
     def collect_worker(self, parent_id: str):
@@ -167,25 +197,27 @@ class Tracer:
 
         Used around a worker-side chunk: whatever tracer state the
         process inherited (fork copies the parent's live tracer) is
-        parked, spans collect into the yielded list with stack roots
-        parented to *parent_id*, and the prior state is restored so
-        persistent pool workers stay clean between chunks.  The seq
-        counter is never rewound — combined with the per-process pid
-        prefix that keeps ids unique in both the forked and the
-        in-process serial-fallback case.
+        parked — including the calling thread's stack frame — spans
+        collect into the yielded list with stack roots parented to
+        *parent_id*, and the prior state is restored so persistent
+        pool workers stay clean between chunks.  The seq counter is
+        never rewound — combined with the per-process pid prefix that
+        keeps ids unique in both the forked and the in-process
+        serial-fallback case.
         """
-        saved = (self._enabled, self._records, self._stack,
-                 self._root_parent, self._pid)
+        frame = self._frame()
+        saved = (self._enabled, self._records, frame.stack,
+                 frame.root_parent, self._pid)
         self._enabled = True
         self._records = records = []
-        self._stack = []
-        self._root_parent = parent_id or None
+        frame.stack = []
+        frame.root_parent = parent_id or None
         self._pid = os.getpid()
         try:
             yield records
         finally:
-            (self._enabled, self._records, self._stack,
-             self._root_parent, self._pid) = saved
+            (self._enabled, self._records, frame.stack,
+             frame.root_parent, self._pid) = saved
 
     def merge(self, records: list[dict]) -> None:
         """Append worker-collected span records to this tracer."""

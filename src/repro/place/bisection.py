@@ -264,7 +264,8 @@ def bisection_place(netlist: Netlist, fixed: dict[str, tuple[float, float]],
                     conn: NetConnectivity | None = None,
                     parallel: ParallelConfig | None = None,
                     region_parallel: bool = False,
-                    reuse_system: bool = True
+                    reuse_system: bool = True,
+                    solver: str = "direct"
                     ) -> dict[str, tuple[float, float]]:
     """Place *movable* instances inside the core area.
 
@@ -272,8 +273,11 @@ def bisection_place(netlist: Netlist, fixed: dict[str, tuple[float, float]],
     key convention as :func:`~repro.place.quadratic.quadratic_solve`).
     ``conn`` optionally shares a pre-built connectivity with the
     caller; ``reuse_system=False`` rebuilds the placement system at
-    every level (bit-identical, for verification).  See the module
-    docstring for ``region_parallel``.
+    every level (bit-identical, for verification).  ``solver`` picks
+    the per-level backend (see :data:`~repro.place.system.SOLVERS`) —
+    the factor-reuse ``cg`` backend is where the level structure pays
+    off, since each level's system differs only in the anchor terms.
+    See the module docstring for ``region_parallel``.
     """
     if not movable:
         return {}
@@ -283,7 +287,8 @@ def bisection_place(netlist: Netlist, fixed: dict[str, tuple[float, float]],
         conn = NetConnectivity.from_netlist(netlist)
 
     def fresh_system() -> PlacementSystem:
-        return PlacementSystem(netlist, fixed, fp, movable=names, conn=conn)
+        return PlacementSystem(netlist, fixed, fp, movable=names, conn=conn,
+                               solver=solver)
 
     system = fresh_system()
     areas = np.array([max(netlist.instance(name).cell.area_um2, 0.1)

@@ -65,7 +65,8 @@ def place_design(netlist: Netlist, tiers: TierAssignment,
                  fp: Floorplan | None = None,
                  utilization: float = 0.45,
                  parallel: ParallelConfig | None = None,
-                 region_parallel: bool = False
+                 region_parallel: bool = False,
+                 solver: str = "direct"
                  ) -> tuple[Placement, Floorplan]:
     """Place *netlist* per *tiers*; returns (placement, floorplan).
 
@@ -74,6 +75,12 @@ def place_design(netlist: Netlist, tiers: TierAssignment,
     out over *parallel* when it allows — placements differ slightly
     from the serial joint solve but are deterministic at any worker
     count.
+
+    ``solver`` selects the per-level solve backend for the bisection
+    pass (``"auto"``/``"direct"``/``"cg"`` — see
+    :mod:`repro.place.system`).  The macro-seeding quadratic pass
+    always solves direct: it is a single solve of a different
+    movable split, so there is no factorization to reuse.
     """
     if fp is None:
         fp = make_floorplan(netlist, utilization=utilization)
@@ -98,10 +105,11 @@ def place_design(netlist: Netlist, tiers: TierAssignment,
     # recursive bisection (the pure quadratic solution collapses
     # interchangeable clusters onto one point — see bisection.py).
     with trace.span("place.bisection", cells=len(std_names),
-                    region_parallel=region_parallel):
+                    region_parallel=region_parallel, solver=solver):
         spread_pos = bisection_place(netlist, fixed, fp, movable=std_names,
                                      conn=conn, parallel=parallel,
-                                     region_parallel=region_parallel)
+                                     region_parallel=region_parallel,
+                                     solver=solver)
 
     with trace.span("place.legalize"):
         for tier in (TIER_LOGIC, TIER_MEMORY):

@@ -24,9 +24,11 @@ class UsageDelta:
     Mirrors the :class:`CongestionGrid` mutation interface
     (``add_path``/``add_f2f``) so tree-usage walks can target either a
     live grid or a pending delta.  The wavefront router accumulates one
-    delta per wave — all contributions are integer-valued track/pad
-    counts, so summing them here and adding once is bit-identical to
-    the serial router's cell-by-cell increments.
+    delta per wave (committed wave-by-wave even inside a speculative
+    multi-wave batch, so each wave's validation sees its predecessors'
+    usage) — all contributions are integer-valued track/pad counts, so
+    summing them here and adding once is bit-identical to the serial
+    router's cell-by-cell increments.
     """
 
     def __init__(self) -> None:
@@ -145,8 +147,8 @@ class CongestionGrid:
         """Copy of every usage array — the grid's full mutable state.
 
         Small (gcell counts × float32), so the wavefront router ships
-        one per wave to its persistent workers; also handy for tests
-        that byte-compare grid state around probe operations.
+        one per dispatched batch to its persistent workers; also handy
+        for tests that byte-compare grid state around probe operations.
         """
         return ([[plane.copy() for plane in tier] for tier in self.usage],
                 self.f2f_usage.copy())

@@ -18,6 +18,7 @@ Routing policy per net (long nets first, as commercial routers prioritize):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.design import Design
@@ -54,6 +55,25 @@ class RouteConfig:
     #: reaching its F2F pad — the fixed cost that makes MLS a net
     #: *loss* for short nets (Table I's degraded net).
     mls_escape_um: float = 2.5
+    #: Target milliseconds of estimated routing work per pool dispatch
+    #: in wavefront mode.  Consecutive waves batch into one dispatch
+    #: until they carry this much work (measured per-net cost, EWMA);
+    #: nets in waves beyond the first route *speculatively* against
+    #: the batch-boundary grid, and only footprint-conflicted nets
+    #: replay serially (see ``_route_batch`` — results stay
+    #: bit-identical to the serial schedule).  ``0`` disables
+    #: batching: every wave is its own dispatch, as before.  Purely a
+    #: scheduling knob — it never changes routing results.
+    #: 16 ms balances dispatch amortization against replay waste: the
+    #: bigger the batch, the more of it later waves invalidate.
+    batch_ms: float = 16.0
+
+
+#: Starting per-net routing cost estimate (seconds) before any
+#: measurement; ~what a MAERI-class net costs on one core.
+INIT_NET_COST_S = 1e-4
+#: EWMA smoothing for the measured per-net cost.
+COST_EWMA = 0.3
 
 
 class RoutingResult:
@@ -175,7 +195,8 @@ class GlobalRouter:
         # Long nets first: they claim upper layers before congestion.
         ordered = sorted(nets, key=lambda n: (-self._est_len(n), n.name))
         wavefront = parallel is not None \
-            and parallel.should_parallelize(len(ordered))
+            and parallel.should_parallelize(
+                len(ordered), est_item_cost_s=INIT_NET_COST_S)
         with trace.span("route.all", nets=len(ordered),
                         mls_nets=len(mls_nets), wavefront=wavefront):
             if wavefront:
@@ -226,16 +247,58 @@ class GlobalRouter:
         MLS-requested nets contend for the other tier's top pair and
         its F2F pads — the shared resource every other MLS net also
         wants — so they are never packed with other nets: each one
-        closes the current wave and routes serially at the boundary.
+        flushes the current batch and routes serially at the boundary.
+
+        One wave per dispatch ships only microseconds of work, so
+        consecutive waves accumulate into a **speculative batch** (see
+        :meth:`_route_batch`) until the batch carries
+        ``cfg.batch_ms`` of estimated routing work; the per-net cost
+        estimate is an EWMA of measured batch/serial segment times, so
+        batch sizing adapts to the design.  A batch whose estimated
+        work cannot amortize a pool round-trip (the
+        ``should_parallelize`` dispatch-overhead gate) routes serially
+        instead — tiny fabrics never take a slower parallel path.
 
         One :class:`~repro.parallel.pool.SnapshotPool` serves the whole
         route: the heavy (router, mls set) snapshot ships to workers
-        once, and each wave forwards only the current congestion-grid
+        once, and each batch forwards only the current congestion-grid
         arrays, which workers load before routing their chunk.
         """
         footprints = {
             net.name: self._net_footprint(net) for net in ordered}
+        est = INIT_NET_COST_S
+        target_s = max(self.cfg.batch_ms, 0.0) * 1e-3
+
         with SnapshotPool((self, mls_nets), parallel) as pool:
+            batch: list[list[Net]] = []
+            batch_nets = 0
+
+            def flush() -> None:
+                nonlocal batch, batch_nets, est
+                if not batch:
+                    return
+                n = batch_nets
+                t0 = time.perf_counter()
+                if parallel.should_parallelize(n, est_item_cost_s=est):
+                    metrics.inc("route.wave_nets_parallel", n)
+                    with trace.span("route.batch", waves=len(batch),
+                                    nets=n):
+                        self._route_batch(result, batch, pool,
+                                          footprints, mls_nets)
+                else:
+                    metrics.inc("route.wave_nets_serial", n)
+                    with trace.span("route.batch", waves=len(batch),
+                                    nets=n, serial=True):
+                        for wave in batch:
+                            for net in wave:
+                                self._commit_net(
+                                    result, net,
+                                    mls=net.name in mls_nets)
+                est = (1.0 - COST_EWMA) * est \
+                    + COST_EWMA * (time.perf_counter() - t0) / n
+                batch = []
+                batch_nets = 0
+
             index = 0
             while index < len(ordered):
                 wave = self._pack_wave(ordered, index, mls_nets,
@@ -243,20 +306,19 @@ class GlobalRouter:
                 index += len(wave)
                 metrics.inc("route.waves")
                 metrics.observe("route.wave_size", len(wave))
-                if parallel.should_parallelize(len(wave)):
-                    metrics.inc("route.wave_nets_parallel", len(wave))
-                    with trace.span("route.wave", size=len(wave)):
-                        self._route_wave(result, wave, pool)
-                else:
-                    # Wave too small to amortize the pool round-trip
-                    # (always the case for MLS singletons): serial at
-                    # the wave boundary.
-                    metrics.inc("route.wave_nets_serial", len(wave))
-                    with trace.span("route.wave", size=len(wave),
-                                    serial=True):
-                        for net in wave:
-                            self._commit_net(result, net,
-                                             mls=net.name in mls_nets)
+                if wave[0].name in mls_nets:
+                    # MLS singleton: flush so it sees every earlier
+                    # net's usage, then route at the live boundary.
+                    flush()
+                    metrics.inc("route.wave_nets_serial")
+                    with trace.span("route.wave", size=1, serial=True):
+                        self._commit_net(result, wave[0], mls=True)
+                    continue
+                batch.append(wave)
+                batch_nets += len(wave)
+                if batch_nets * est >= target_s:
+                    flush()
+            flush()
 
     def _net_footprint(self, net: Net) -> frozenset:
         """Gcells this net's routing may read or write (pre-routing)."""
@@ -289,19 +351,62 @@ class GlobalRouter:
             occupied.update(footprint)
         return wave
 
-    def _route_wave(self, result: RoutingResult, wave: list[Net],
-                    pool: SnapshotPool) -> None:
-        """Fan one wave out over the pool and merge in canonical order."""
-        rows = pool.map(_route_wave_chunk, [n.name for n in wave],
+    def _route_batch(self, result: RoutingResult, waves: list[list[Net]],
+                     pool: SnapshotPool, footprints: dict[str, frozenset],
+                     mls_nets: frozenset) -> None:
+        """Fan a batch of consecutive waves out in ONE pool dispatch.
+
+        Workers route every net of the batch against the
+        batch-boundary grid (releasing each net's usage after routing,
+        as in single-wave mode), so nets in waves beyond the first are
+        *speculative*: they did not see the usage earlier batch waves
+        will commit before them in the serial schedule.  The merge
+        walks waves in serial order and validates each speculative
+        net: its (conservative, superset-of-reads-and-writes) gcell
+        footprint must be disjoint from every cell the earlier waves
+        of this batch touched — then the batch-boundary grid and the
+        serial-schedule grid agree on everything the net read, and the
+        speculative tree is exactly the serial tree.  Conflicted nets
+        replay serially against the live grid; replay mid-wave is
+        exact because same-wave footprints are pairwise disjoint, so a
+        replayed net's reads are untouched by same-wave usage whether
+        or not it is committed yet.  Each wave's accepted usage is
+        committed (one :class:`UsageDelta`) before the next wave is
+        validated, and trees/RC insert in serial net order — dict
+        ordering, float bit patterns and stats all match the serial
+        router.
+        """
+        names = [net.name for wave in waves for net in wave]
+        metrics.inc("route.dispatches")
+        metrics.inc("route.batches")
+        metrics.observe("route.batch_waves", len(waves))
+        rows = pool.map(_route_wave_chunk, names,
                         extra=self.grid.export_state())
-        delta = UsageDelta()
-        for name, edges in rows:
-            tree = self._rebuild_tree(name, edges)
-            self._apply_tree_usage(tree, +1.0, sink=delta)
-            result.trees[name] = tree
-            result.rc[name] = extract_rc(
-                tree, self.design.tech.stacks, self.design.tech.f2f)
-        self.grid.apply_delta(delta)
+        stacks, f2f = self.design.tech.stacks, self.design.tech.f2f
+        written: set = set()
+        row = 0
+        for wave in waves:
+            delta = UsageDelta()
+            for net in wave:
+                name, edges = rows[row]
+                row += 1
+                if written.isdisjoint(footprints[name]):
+                    tree = self._rebuild_tree(name, edges)
+                    self._apply_tree_usage(tree, +1.0, sink=delta)
+                    metrics.inc("route.speculative_nets")
+                else:
+                    metrics.inc("route.replayed_nets")
+                    tree = self._route_net(net, mls=name in mls_nets,
+                                           commit=True)
+                # Key with the tree's own name string: dict key and
+                # ``NetRC.net_name`` must stay the *same object*, as
+                # in the serial path, so snapshot pickles (which memo
+                # shared strings) stay byte-identical.
+                result.trees[tree.net_name] = tree
+                result.rc[tree.net_name] = extract_rc(tree, stacks, f2f)
+            self.grid.apply_delta(delta)
+            for net in wave:
+                written.update(footprints[net.name])
 
     def _rebuild_tree(self, net_name: str,
                       edges: list[RouteEdge]) -> RouteTree:

@@ -46,8 +46,11 @@ from repro.parallel import dumps_snapshot
 #: has its own version for that).  2: factory bytecode fingerprints
 #: cover co_consts/co_names/co_freevars and nested code objects, not
 #: co_code alone (constants are referenced by index, so a literal
-#: edit used to leave co_code byte-identical).
-KEY_SCHEMA_VERSION = 2
+#: edit used to leave co_code byte-identical).  3: the place stage key
+#: covers the solver backend (cg placements differ within tolerance,
+#: not bit-exactly), and the route ``batch_ms`` dispatch-sizing knob
+#: is excluded as result-neutral.
+KEY_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -235,7 +238,8 @@ def prepare_stage_keys(factory, tech, seeds, config) -> PrepareKeys:
     """
     base = _base(factory, tech, seeds)
     place = dict(base,
-                 region_parallel=bool(config.place_region_parallel))
+                 region_parallel=bool(config.place_region_parallel),
+                 solver=str(getattr(config, "place_solver", "direct")))
     prepared = dict(place,
                     freq_mhz=float(config.target_freq_mhz),
                     scan=bool(config.with_scan))
@@ -256,6 +260,11 @@ def prepare_key(factory, tech, seeds, config) -> ContentKey:
 #: wall-clock only (locked by the equivalence suites), never results.
 _RESULT_NEUTRAL_CONFIG_FIELDS = frozenset({"parallel"})
 
+#: RouteConfig fields excluded for the same reason: ``batch_ms`` only
+#: sizes wavefront pool dispatches — the routing-invariant suite locks
+#: trees/grid/stats bit-identical at any batch size.
+_RESULT_NEUTRAL_ROUTE_FIELDS = frozenset({"batch_ms"})
+
 
 def config_fingerprint(config) -> Any:
     """Canonical form of every result-relevant flow-config field."""
@@ -263,7 +272,12 @@ def config_fingerprint(config) -> Any:
     for field in dataclasses.fields(config):
         if field.name in _RESULT_NEUTRAL_CONFIG_FIELDS:
             continue
-        out[field.name] = getattr(config, field.name)
+        value = getattr(config, field.name)
+        if field.name == "route" and dataclasses.is_dataclass(value):
+            value = {f.name: getattr(value, f.name)
+                     for f in dataclasses.fields(value)
+                     if f.name not in _RESULT_NEUTRAL_ROUTE_FIELDS}
+        out[field.name] = value
     return out
 
 

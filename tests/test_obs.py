@@ -121,6 +121,42 @@ class TestSpans:
         assert chunk["parent"] == recs["driver"][0]["id"]
         assert recs["work"][0]["parent"] == chunk["id"]
 
+    def test_threads_keep_independent_span_stacks(self):
+        """Concurrent spans on different threads never adopt each
+        other as parents: each thread nests on its own stack
+        (threading.local), while ids stay process-unique."""
+        import threading
+
+        tr = Tracer()
+        tr.enable()
+        entered = threading.Barrier(3)
+
+        def worker(tag: str) -> None:
+            with tr.span(f"outer.{tag}"):
+                entered.wait()          # all outers open concurrently
+                with tr.span(f"inner.{tag}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in ("a", "b")]
+        with tr.span("main.outer"):
+            for t in threads:
+                t.start()
+            entered.wait()
+            with tr.span("main.inner"):
+                pass
+            for t in threads:
+                t.join()
+        recs = by_name(tr.records)
+        for tag in ("a", "b"):
+            outer = recs[f"outer.{tag}"][0]
+            assert outer["parent"] is None
+            assert recs[f"inner.{tag}"][0]["parent"] == outer["id"]
+        assert recs["main.inner"][0]["parent"] == \
+            recs["main.outer"][0]["id"]
+        ids = [r["id"] for r in tr.records]
+        assert len(set(ids)) == len(ids)
+
     def test_reset_keeps_ids_unique(self):
         tr = Tracer()
         tr.enable()

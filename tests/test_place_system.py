@@ -20,8 +20,11 @@ from functools import lru_cache
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+import pytest
+
 from repro.design import TechSetup
 from repro.netlist.generators import MaeriConfig, generate_maeri
+from repro.obs import metrics
 from repro.parallel import ParallelConfig
 from repro.partition import partition_memory_on_logic
 from repro.place import (NetConnectivity, Placement, PlacementSystem,
@@ -29,10 +32,20 @@ from repro.place import (NetConnectivity, Placement, PlacementSystem,
                          quadratic_solve)
 from repro.place.legalize import legalize_macros
 from repro.place.placer import _pin_ports
+from repro.place.system import AUTO_CG_MIN_UNKNOWNS, PlacementError
 from repro.rng import SeedBundle
 
 #: Allowed relative HPWL delta of region-parallel vs serial placement.
 REGION_HPWL_TOL = 0.02
+
+#: Allowed absolute position delta (um) of a cg solve vs direct.  The
+#: PCG residual tolerance (CG_RTOL) translates to well under 1e-3 um of
+#: position error on the 16PE system; 0.05 um leaves headroom while
+#: staying far below a placement row height.
+CG_POS_TOL = 0.05
+
+#: Allowed relative HPWL delta of a full cg bisection placement.
+CG_HPWL_TOL = 0.02
 
 
 @lru_cache(maxsize=1)
@@ -103,6 +116,100 @@ class TestCachedSystemBitIdentity:
         rebuilt = bisection_place(nl, fixed, fp, movable=std, conn=conn,
                                   reuse_system=False)
         assert cached == rebuilt
+
+
+@lru_cache(maxsize=1)
+def _cg_system() -> PlacementSystem:
+    """One stateful cg system shared across hypothesis examples, so
+    successive solves exercise factor reuse, refactor-on-perturbation
+    and warm starts — not just the first factorization."""
+    nl, _, fp, fixed, std, conn = _small_setup()
+    return PlacementSystem(nl, fixed, fp, movable=std, conn=conn,
+                           solver="cg")
+
+
+class TestSolverBackends:
+    """The cg backend is equivalent to direct within tolerance; the
+    direct backend stays the bit-identical default."""
+
+    def test_invalid_solver_rejected(self):
+        nl, _, fp, fixed, std, conn = _small_setup()
+        with pytest.raises(PlacementError):
+            PlacementSystem(nl, fixed, fp, movable=std, conn=conn,
+                            solver="jacobi")
+
+    def test_auto_resolves_by_system_size(self):
+        nl, _, fp, fixed, std, conn = _small_setup()
+        system = PlacementSystem(nl, fixed, fp, movable=std, conn=conn,
+                                 solver="auto")
+        expect = "cg" if system._asm.n_total >= AUTO_CG_MIN_UNKNOWNS \
+            else "direct"
+        assert system.resolved_solver() == expect
+        assert PlacementSystem(nl, fixed, fp, movable=std, conn=conn,
+                               solver="direct").resolved_solver() == "direct"
+
+    @given(seed=st.integers(0, 2**32 - 1),
+           weight=st.floats(0.001, 50.0))
+    @settings(max_examples=12, deadline=None)
+    def test_cg_matches_direct_within_tolerance(self, seed, weight):
+        """Random anchor sets and weights: cg positions track the
+        direct factorization to within CG_POS_TOL um.
+
+        The cg system is shared across examples, so anchor sets and
+        weights *change* between solves — exactly the perturbation
+        sequence bisection produces — exercising preconditioner reuse,
+        the refactor policy and the non-convergence fallback.
+        """
+        nl, _, fp, fixed, std, _ = _small_setup()
+        direct = _shared_system()
+        cg = _cg_system()
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(0, 24))
+        picked = rng.choice(len(std), size=count, replace=False)
+        anchors = {std[i]: (float(rng.uniform(0, fp.width)),
+                            float(rng.uniform(0, fp.core_height)))
+                   for i in picked}
+        want = direct.solve(anchors, anchor_weight=weight)
+        got = cg.solve(anchors, anchor_weight=weight)
+        assert want.keys() == got.keys()
+        worst = max(max(abs(a[0] - b[0]), abs(a[1] - b[1]))
+                    for a, b in ((want[n], got[n]) for n in want))
+        assert worst <= CG_POS_TOL
+
+    def test_exact_anchor_repeat_is_bit_identical(self):
+        """Re-solving the same anchored system reuses the cached LU
+        (no new factorization) and returns bit-identical positions."""
+        nl, _, fp, fixed, std, conn = _small_setup()
+        system = PlacementSystem(nl, fixed, fp, movable=std, conn=conn,
+                                 solver="cg")
+        anchors = {std[0]: (1.0, 2.0), std[7]: (30.0, 4.0)}
+        first = system.solve(anchors, anchor_weight=0.5)
+        factored = metrics.counter("place.factorizations")
+        reused = metrics.counter("place.factor_reuse")
+        second = system.solve(anchors, anchor_weight=0.5)
+        assert second == first
+        assert metrics.counter("place.factorizations") == factored
+        assert metrics.counter("place.factor_reuse") == reused + 1
+
+    def test_bisection_cg_hpwl_within_tolerance(self):
+        """Full bisection with solver="cg" lands within CG_HPWL_TOL of
+        the direct placement (both legalized)."""
+        nl, tiers, *_ = _small_setup()
+        direct, _ = place_design(nl, tiers, SeedBundle(1234))
+        cg, _ = place_design(nl, tiers, SeedBundle(1234), solver="cg")
+        cg.validate()
+        assert cg.hpwl() <= direct.hpwl() * (1.0 + CG_HPWL_TOL)
+
+    def test_direct_default_unchanged(self):
+        """solver="direct" is the constructor default and the seed
+        behavior: explicit and implicit spellings agree bit-for-bit."""
+        nl, _, fp, fixed, std, conn = _small_setup()
+        implicit = PlacementSystem(nl, fixed, fp, movable=std, conn=conn)
+        explicit = PlacementSystem(nl, fixed, fp, movable=std, conn=conn,
+                                   solver="direct")
+        anchors = {std[3]: (5.0, 6.0)}
+        assert implicit.solve(anchors, anchor_weight=2.0) \
+            == explicit.solve(anchors, anchor_weight=2.0)
 
 
 @lru_cache(maxsize=4)

@@ -110,6 +110,7 @@ _PERTURBATIONS = {
     "activity": BASE_CONFIG.activity + 0.01,
     "parallel": None,
     "place_region_parallel": True,
+    "place_solver": "cg",
 }
 
 _RESULT_NEUTRAL = {"parallel"}
@@ -171,6 +172,30 @@ class TestKeyDerivation:
                                                  chunk_size=17))
         assert flow_key(_maeri_factory, tech, _seeds(),
                         wide).hexdigest == base.hexdigest
+
+    def test_route_batch_ms_never_changes_key(self, tech):
+        """``batch_ms`` only sizes wavefront dispatches (the routing
+        invariant suite locks results identical at any batch size), so
+        it must not move flow keys — unlike the rest of RouteConfig."""
+        base = flow_key(_maeri_factory, tech, _seeds(), BASE_CONFIG)
+        batched = dataclasses.replace(
+            BASE_CONFIG,
+            route=dataclasses.replace(BASE_CONFIG.route, batch_ms=997.0))
+        assert flow_key(_maeri_factory, tech, _seeds(),
+                        batched).hexdigest == base.hexdigest
+
+    def test_place_solver_changes_prepare_keys(self, tech):
+        """cg placements differ within tolerance, not bit-exactly, so
+        the place and prepared stage keys must cover the backend."""
+        base = prepare_stage_keys(_maeri_factory, tech, _seeds(),
+                                  BASE_CONFIG)
+        cg = prepare_stage_keys(
+            _maeri_factory, tech, _seeds(),
+            dataclasses.replace(BASE_CONFIG, place_solver="cg"))
+        assert base.generate == cg.generate
+        assert base.partition == cg.partition
+        assert base.place != cg.place
+        assert base.prepared != cg.prepared
 
     @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
     @settings(max_examples=25, deadline=None)
