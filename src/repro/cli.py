@@ -90,6 +90,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "multi-wave batching; 0 = one wave per "
                              "dispatch; default: RouteConfig.batch_ms). "
                              "Scheduling only — results are identical")
+    parser.add_argument("--select-batch", type=int, default=None,
+                        metavar="N",
+                        help="graphs per padded minibatch in the GNN "
+                             "selector leg (DGI, fine-tune, and "
+                             "inference share the setting); 1 runs "
+                             "the per-graph reference schedule "
+                             "(default: TrainConfig.batch_size)")
     parser.add_argument("--store", metavar="PATH", default=None,
                         help="persistent content-addressed artifact "
                              "store to read through / write back "
@@ -177,6 +184,7 @@ def _cmd_flow(args) -> int:
                                 args.place_region_parallel,
                                 place_solver=args.place_solver,
                                 route_batch_ms=args.route_batch,
+                                select_batch=args.select_batch,
                                 store=store)
     if store is not None:
         store.flush()           # persist batched recency updates
@@ -227,6 +235,7 @@ def _cmd_timing(args) -> int:
                                 args.place_region_parallel,
                                 place_solver=args.place_solver,
                                 route_batch_ms=args.route_batch,
+                                select_batch=args.select_batch,
                                 store=store)
     if store is not None:
         store.flush()
@@ -244,6 +253,7 @@ def _cmd_congestion(args) -> int:
                                 args.place_region_parallel,
                                 place_solver=args.place_solver,
                                 route_batch_ms=args.route_batch,
+                                select_batch=args.select_batch,
                                 store=store)
     if store is not None:
         store.flush()

@@ -6,19 +6,28 @@ embeddings v* from a feature-shuffled copy C(Y) (negative sampling by
 perturbing node features).  A bilinear discriminator scores <v, W g>;
 the loss pushes true node/summary pairs toward 1 and corrupted pairs
 toward 0 through the sigmoid of Eq. 3.
+
+Training runs over zero-padded (B, L, D) minibatches by default —
+corruption is still drawn per graph in visit order, the summary
+readout and score means are masked so padding contributes exact zeros,
+and one optimizer step covers the batch.  ``batch_size=1`` with
+``vectorized=False`` retains the per-graph reference loop unchanged
+(same math, same RNG draw sequence).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batching import (length_bucketed_batches, pad_batch)
 from repro.core.encoder import GraphTransformer
 from repro.core.hypergraph import PathGraph
-from repro.nn.functional import dgi_loss
+from repro.nn.functional import dgi_loss, masked_dgi_loss, masked_mean
 from repro.nn.init import xavier_uniform
 from repro.nn.layers import Module
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
+from repro.obs import metrics, trace
 
 
 class DGIPretrainer(Module):
@@ -48,27 +57,74 @@ class DGIPretrainer(Module):
         neg_scores = (neg @ self.discriminator) @ summary.transpose(1, 0)
         return dgi_loss(pos_scores, neg_scores)
 
+    def loss_for_batch(self, mats: list[np.ndarray]) -> Tensor:
+        """DGI loss of one padded minibatch of feature matrices.
+
+        Corruption draws per graph in list order — the same RNG call
+        sequence the per-graph path consumes — then both the clean and
+        corrupted batches run one masked (B, L, D) forward each.
+        """
+        batch, mask = pad_batch(mats)
+        corrupt, _ = pad_batch([self.corrupt(m) for m in mats])
+        pos = self.encoder(Tensor(batch), mask)
+        summary = masked_mean(pos, mask, axis=1).tanh()      # (B, D)
+        summary = summary.reshape(len(mats), 1,
+                                  self.encoder.config.d_model)
+        neg = self.encoder(Tensor(corrupt), mask)
+        pos_scores = ((pos @ self.discriminator) * summary).sum(axis=-1)
+        neg_scores = ((neg @ self.discriminator) * summary).sum(axis=-1)
+        return masked_dgi_loss(pos_scores, neg_scores, mask)
+
     def pretrain(self, graphs: list[PathGraph], normalize,
                  epochs: int = 5, lr: float = 1e-3,
-                 log=None) -> list[float]:
+                 log=None, batch_size: int = 1,
+                 vectorized: bool = True,
+                 mats: list[np.ndarray] | None = None) -> list[float]:
         """Run DGI over *graphs*; returns per-epoch mean losses.
 
         *normalize* maps a raw feature matrix to model inputs (the
-        dataset extractor's transform).
+        dataset extractor's transform); pass *mats* to reuse matrices
+        the caller already normalized.  ``batch_size`` graphs share
+        one forward/backward and optimizer step; ``vectorized=False``
+        computes the identical minibatch loss with per-graph forwards
+        and gradient accumulation (the reference implementation —
+        with ``batch_size=1`` exactly the historical per-graph loop).
         """
         optimizer = Adam(self.parameters(), lr=lr)
         history: list[float] = []
-        mats = [normalize(g.features) for g in graphs]
+        if mats is None:
+            mats = [normalize(g.features) for g in graphs]
+        lengths = np.array([m.shape[0] for m in mats], dtype=np.int64)
+        use_padded = vectorized and batch_size > 1
         for epoch in range(epochs):
             order = self._rng.permutation(len(mats))
+            batches = length_bucketed_batches(
+                lengths, order, batch_size,
+                rng=self._rng if batch_size > 1 else None)
             total = 0.0
-            for idx in order:
-                loss = self.loss_for(mats[int(idx)])
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                total += float(loss.data)
-            mean = total / max(len(mats), 1)
+            with trace.span("select.dgi.epoch", epoch=epoch,
+                            batches=len(batches)) as span:
+                for batch_idx in batches:
+                    if use_padded:
+                        loss = self.loss_for_batch(
+                            [mats[int(i)] for i in batch_idx])
+                        optimizer.zero_grad()
+                        loss.backward()
+                        optimizer.step()
+                        total += float(loss.data) * len(batch_idx)
+                    else:
+                        optimizer.zero_grad()
+                        seed = 1.0 / len(batch_idx)
+                        for idx in batch_idx:
+                            loss = self.loss_for(mats[int(idx)])
+                            loss.backward(
+                                np.full_like(loss.data, seed))
+                            total += float(loss.data)
+                        optimizer.step()
+                mean = total / max(len(mats), 1)
+                span.set(loss=round(mean, 6))
+            metrics.observe("select.dgi.epoch_loss", mean)
+            metrics.inc("select.dgi.batches", len(batches))
             history.append(mean)
             if log is not None:
                 log(f"DGI epoch {epoch}: loss {mean:.4f}")

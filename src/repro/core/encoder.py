@@ -45,12 +45,20 @@ class GraphTransformer(Module):
                                           ff_mult=config.ff_mult)
         self._posenc = positional_encoding(config.max_len, config.d_model)
 
-    def __call__(self, features: Tensor) -> Tensor:
-        """Encode one path's (N, in_dim) normalized features to
-        (N, d_model) node embeddings."""
-        n = features.shape[0]
+    def __call__(self, features: Tensor,
+                 key_padding_mask: np.ndarray | None = None) -> Tensor:
+        """Encode path features to node embeddings.
+
+        Accepts one path's (N, in_dim) matrix — the per-graph
+        reference — or a zero-padded (B, L, in_dim) batch with a
+        boolean (B, L) *key_padding_mask* marking real nodes; the
+        positional encoding broadcasts per row, and the mask keeps
+        padded nodes out of every attention softmax so real rows
+        encode exactly as they would alone.
+        """
+        n = features.shape[-2]
         if n > self.config.max_len:
             raise ValueError(
                 f"path length {n} exceeds max_len {self.config.max_len}")
         h = self.proj(features) + Tensor(self._posenc[:n])
-        return self.encoder(h)
+        return self.encoder(h, key_padding_mask)

@@ -9,7 +9,7 @@ training split.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -32,10 +32,39 @@ class PathDataset:
     labeled_graphs: list[PathGraph]
     extractor: NodeFeatureExtractor
     net_labels: dict[str, NetLabel]
+    _normalized: list[np.ndarray] | None = field(
+        default=None, repr=False, compare=False)
+    _normalized_by_id: dict[int, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False)
 
     @property
     def num_nodes(self) -> int:
         return sum(g.depth for g in self.graphs)
+
+    def normalized(self, graphs: list[PathGraph] | None = None
+                   ) -> list[np.ndarray]:
+        """Normalized feature matrices, computed once per graph.
+
+        DGI pretraining, fine-tuning and batched inference all start
+        from ``extractor.normalize(g.features)``; this caches the
+        result for the dataset's own graphs (keyed by object identity,
+        which is stable while ``self.graphs`` holds them) so the three
+        legs share one precompute.  Graphs outside the dataset — e.g.
+        fresh path sets from the refine loop — normalize on the fly.
+        """
+        if self._normalized is None:
+            self._normalized = [self.extractor.normalize(g.features)
+                                for g in self.graphs]
+            self._normalized_by_id = {
+                id(g): m for g, m in zip(self.graphs, self._normalized)}
+        if graphs is None:
+            return self._normalized
+        out: list[np.ndarray] = []
+        for g in graphs:
+            cached = self._normalized_by_id.get(id(g))
+            out.append(cached if cached is not None
+                       else self.extractor.normalize(g.features))
+        return out
 
     def label_balance(self) -> float:
         """Fraction of positive labels among labeled nodes."""

@@ -11,6 +11,7 @@ runs of one table only pay routing + selection + signoff.
 from __future__ import annotations
 
 
+from repro.core.trainer import TrainConfig
 from repro.core.flow import (FlowConfig, FlowReport, run_flow,
                              prepare_design_cached)
 from repro.harness.designs import (BenchmarkSpec, get_benchmark,
@@ -34,6 +35,7 @@ def run_benchmark_flow(spec: BenchmarkSpec, selector: str,
                        place_region_parallel: bool = False,
                        place_solver: str = "direct",
                        route_batch_ms: float | None = None,
+                       select_batch: int | None = None,
                        store=None) -> FlowReport:
     """Run (or fetch) one cached flow.
 
@@ -53,6 +55,9 @@ def run_benchmark_flow(spec: BenchmarkSpec, selector: str,
     parallel = parallel or ParallelConfig()
     route = RouteConfig() if route_batch_ms is None \
         else RouteConfig(batch_ms=route_batch_ms)
+    train = TrainConfig() if select_batch is None \
+        else TrainConfig(batch_size=select_batch,
+                         vectorized=select_batch > 1)
     config = FlowConfig(
         selector=selector,
         target_freq_mhz=spec.target_freq_mhz,
@@ -65,6 +70,7 @@ def run_benchmark_flow(spec: BenchmarkSpec, selector: str,
         place_region_parallel=place_region_parallel,
         place_solver=place_solver,
         route=route,
+        train=train,
     )
     content = flow_key(spec.factory, spec.tech(), spec.seeds(seed),
                        config)

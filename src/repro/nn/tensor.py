@@ -266,10 +266,32 @@ class Tensor:
                 self._accumulate(g)
         return self._make(self.data[key], (self,), backward)
 
-    def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        exp = np.exp(shifted)
-        out_data = exp / exp.sum(axis=axis, keepdims=True)
+    def softmax(self, axis: int = -1,
+                mask: Optional[np.ndarray] = None) -> "Tensor":
+        """Softmax along *axis*; optional boolean *mask* (True = keep).
+
+        Masked-out entries get an exactly-zero probability and an
+        exactly-zero gradient, and the max/exp/sum over the kept
+        entries is the same arithmetic an unmasked softmax over just
+        those entries would do — which is what lets padded (B, L, D)
+        batches reproduce the per-graph path.  Slices with every entry
+        masked come out all-zero (a padding row attends to nothing).
+        """
+        if mask is None:
+            shifted = self.data - self.data.max(axis=axis, keepdims=True)
+            exp = np.exp(shifted)
+            out_data = exp / exp.sum(axis=axis, keepdims=True)
+        else:
+            keep = np.broadcast_to(np.asarray(mask, dtype=bool),
+                                   self.data.shape)
+            neg = np.where(keep, self.data, -np.inf)
+            peak = neg.max(axis=axis, keepdims=True)
+            # All-masked slices have peak -inf; any finite stand-in
+            # works because their exp terms are forced to zero below.
+            peak = np.where(np.isfinite(peak), peak, 0.0)
+            exp = np.where(keep, np.exp(self.data - peak), 0.0)
+            denom = exp.sum(axis=axis, keepdims=True)
+            out_data = exp / np.where(denom == 0.0, 1.0, denom)
 
         def backward(grad):
             if not self.requires_grad:

@@ -64,8 +64,11 @@ CENTER_REG = 1e-6
 #: Solver backends ``PlacementSystem``/``FlowConfig`` understand.
 SOLVERS = ("auto", "direct", "cg")
 #: ``auto`` stays direct below this many unknowns — factorizing a tiny
-#: system is cheaper than any preconditioner bookkeeping.
-AUTO_CG_MIN_UNKNOWNS = 2000
+#: system is cheaper than any preconditioner bookkeeping.  1000 puts
+#: the MAERI-16 hetero fabric (~1.9k unknowns per region) on the cg
+#: backend alongside A7 (~3.7k), where factor reuse across the anchor
+#: bisection already wins; toy designs stay direct.
+AUTO_CG_MIN_UNKNOWNS = 1000
 #: PCG convergence target, relative to ``||b||``.  Positions land
 #: within ~1e-4 um of the direct solve — far inside the 2% HPWL
 #: equivalence tolerance the quality gates check, and measured HPWL

@@ -250,3 +250,56 @@ class TestRegionParallel:
         _, region, _ = _placed(True, 1)
         assert any(joint.of_instance(n) != region.of_instance(n)
                    for n in nl.instances)
+
+
+class TestAutoBackendByFamily:
+    """Pins which backend ``auto`` resolves to per design family.
+
+    AUTO_CG_MIN_UNKNOWNS = 1000 deliberately places both hetero
+    benchmark families on the factor-reuse cg backend (~1.9k unknowns
+    per MAERI-16 region, ~3.7k per A7 region) while toy systems like
+    the fixtures above stay on the bit-identical direct factorization.
+    Changing the threshold must update this table consciously.
+    """
+
+    @staticmethod
+    def _auto_backends(benchmark_key: str) -> list[str]:
+        """Backends every bisection-level system of one benchmark's
+        auto-solver placement actually resolves to."""
+        import repro.place.bisection as bisection
+        from repro.core.flow import stage_generate, stage_partition
+        from repro.harness.designs import get_benchmark
+
+        spec = get_benchmark(benchmark_key)
+        netlist = stage_generate(spec.factory, spec.tech(), spec.seeds())
+        tiers = stage_partition(netlist)
+        recorded: list[str] = []
+        real = bisection.PlacementSystem
+
+        class Recording(real):
+            def __init__(self, *a, **kw):
+                super().__init__(*a, **kw)
+                recorded.append(self.resolved_solver())
+
+        bisection.PlacementSystem = Recording
+        try:
+            place_design(netlist, tiers, spec.seeds(), solver="auto")
+        finally:
+            bisection.PlacementSystem = real
+        assert recorded, "bisection built no placement systems"
+        return recorded
+
+    def test_maeri_family_resolves_cg(self):
+        assert set(self._auto_backends("maeri16_hetero")) == {"cg"}
+
+    def test_a7_family_resolves_cg(self):
+        assert set(self._auto_backends("a7_hetero")) == {"cg"}
+
+    def test_tiny_system_stays_direct(self):
+        """A sub-threshold region (e.g. a deep bisection level) still
+        resolves to the direct factorization."""
+        nl, _, fp, fixed, std, conn = _small_setup()
+        system = PlacementSystem(nl, fixed, fp, movable=std[:200],
+                                 conn=conn, solver="auto")
+        assert system._asm.n_total < AUTO_CG_MIN_UNKNOWNS
+        assert system.resolved_solver() == "direct"
