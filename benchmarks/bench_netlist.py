@@ -48,6 +48,7 @@ from repro.parallel.pool import dumps_snapshot, loads_snapshot  # noqa: E402
 from tests.golden_util import netlist_digest, placement_digest  # noqa: E402
 
 BENCH_JSON = REPO_ROOT / "BENCH_netlist.json"
+TREND_JSONL = REPO_ROOT / "benchmarks" / "results" / "trend.jsonl"
 
 #: Flat payload must be at least this many times smaller than the
 #: frozen object-graph baseline (ISSUE 6 acceptance: >= 3x on MAERI-128).
@@ -174,6 +175,13 @@ def main(argv: list[str] | None = None) -> int:
               "scale_budgets": SCALE_BUDGETS, "designs": rows}
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {BENCH_JSON}")
+
+    from repro.obs.trend import append_trend
+    legs = {f"netlist.{row['key']}.{leg}": row[leg]
+            for row in rows
+            for leg in ("prepare_s", "dump_s", "load_s")}
+    append_trend(TREND_JSONL, "netlist", legs, smoke=args.smoke,
+                 meta={"cpu_count": cores, "repeats": repeats})
 
     failures = _gates(rows, cores)
     if failures:

@@ -24,6 +24,7 @@ from repro.core.flow import FlowConfig
 from repro.route import GlobalRouter
 
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_parallel.json"
+TREND_JSONL = Path(__file__).parent / "results" / "trend.jsonl"
 WORKERS = 4
 
 
@@ -55,6 +56,7 @@ def test_parallel_oracle_speedup(benchmark, emit):
     cores = usable_cores()
     record = {
         "design": spec.paper_name,
+        "key": spec.key,
         "nets": len(serial),
         "workers": WORKERS,
         "t_serial_s": round(t_serial, 4),
@@ -64,6 +66,12 @@ def test_parallel_oracle_speedup(benchmark, emit):
         "labels_identical": identical,
     }
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    from repro.obs.trend import append_trend
+    append_trend(TREND_JSONL, "oracle", {
+        f"oracle.{spec.key}.serial_s": record["t_serial_s"],
+        f"oracle.{spec.key}.parallel_s": record["t_parallel_s"],
+    }, meta={"cpu_count": cores, "workers": WORKERS})
 
     emit("parallel_oracle", "\n".join([
         "Parallel what-if oracle (maeri16_hetero)",

@@ -75,6 +75,7 @@ from repro.place.legalize import legalize_macros, legalize_tier  # noqa: E402
 from repro.place.placer import _pin_ports                        # noqa: E402
 
 BENCH_JSON = REPO_ROOT / "BENCH_place.json"
+TREND_JSONL = REPO_ROOT / "benchmarks" / "results" / "trend.jsonl"
 
 #: Allowed relative HPWL delta: cached vs seed, region vs cached, and
 #: cg vs cached.
@@ -511,6 +512,7 @@ def bench_design(key: str, repeats: int, workers: int) -> dict:
     hpwl_cg = cg_pl.hpwl()
     return {
         "design": spec.paper_name,
+        "key": key,
         "instances": len(netlist.instances),
         "nets": len(netlist.nets),
         "seed_place_s": round(t_seed, 3),
@@ -619,6 +621,14 @@ def main(argv: list[str] | None = None) -> int:
               "metrics": metrics.snapshot()}
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {BENCH_JSON}")
+
+    from repro.obs.trend import append_trend
+    legs = {f"place.{row['key']}.{leg}": row[leg]
+            for row in rows
+            for leg in ("seed_place_s", "cached_place_s",
+                        "cg_place_s", "region_place_s")}
+    append_trend(TREND_JSONL, "place", legs, smoke=args.smoke,
+                 meta={"cpu_count": cores, "repeats": repeats})
 
     failures = _gates(rows, args.smoke, cores)
     if failures:

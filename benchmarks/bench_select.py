@@ -44,6 +44,7 @@ from repro.mls import route_with_mls                            # noqa: E402
 from repro.timing import run_sta                                # noqa: E402
 
 BENCH_JSON = REPO_ROOT / "BENCH_select.json"
+TREND_JSONL = REPO_ROOT / "benchmarks" / "results" / "trend.jsonl"
 
 #: (num_paths, num_labeled, dgi_epochs, finetune_epochs) per mode —
 #: small enough to time in CI, large enough that throughput is kernel-
@@ -75,6 +76,7 @@ def bench_design(key: str, batch_size: int,
 
     row = {
         "design": spec.paper_name,
+        "key": key,
         "graphs": len(dataset.graphs),
         "labeled": len(dataset.labeled_graphs),
         "batch_size": batch_size,
@@ -142,6 +144,17 @@ def main(argv: list[str] | None = None) -> int:
               "metrics": metrics.snapshot()}
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {BENCH_JSON}")
+
+    from repro.obs.trend import append_trend
+    legs = {}
+    for row in rows:
+        legs[f"select.{row['key']}.finetune_s"] = \
+            row["batched"]["finetune_s"]
+        legs[f"select.{row['key']}.select_s"] = \
+            row["batched"]["select_s"]
+        legs[f"select.{row['key']}.dataset_s"] = row["dataset_s"]
+    append_trend(TREND_JSONL, "select", legs, smoke=args.smoke,
+                 meta={"batch": args.batch})
 
     ok = True
     for row in rows:

@@ -59,6 +59,7 @@ from repro.service.daemon import (ServiceConfig,               # noqa: E402
 from repro.service.stages import run_flow_stored               # noqa: E402
 
 BENCH_JSON = REPO_ROOT / "BENCH_service.json"
+TREND_JSONL = REPO_ROOT / "benchmarks" / "results" / "trend.jsonl"
 
 #: Acceptance: warm (summary-served) requests at least this many times
 #: faster than the cold compute.
@@ -243,6 +244,13 @@ def main(argv: list[str] | None = None) -> int:
               "designs": rows, "daemon_dedup": dedup}
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {BENCH_JSON}")
+
+    from repro.obs.trend import append_trend
+    legs = {f"service.{row['key']}.{leg}": row[leg]
+            for row in rows
+            for leg in ("cold_s", "warm_summary_s", "warm_report_s")}
+    append_trend(TREND_JSONL, "service", legs, smoke=args.smoke,
+                 meta={"warm_repeats": WARM_REPEATS})
 
     failures = _gates(rows, dedup)
     if failures:

@@ -41,6 +41,7 @@ from repro.timing import (IncrementalSta, build_timing_graph,   # noqa: E402
                           run_sta)
 
 BENCH_JSON = REPO_ROOT / "BENCH_sta.json"
+TREND_JSONL = REPO_ROOT / "benchmarks" / "results" / "trend.jsonl"
 
 #: Single-net reroute toggles timed per design in the incremental leg.
 INCR_TOGGLES = 6
@@ -99,6 +100,7 @@ def bench_design(key: str, repeats: int) -> dict:
 
     return {
         "design": spec.paper_name,
+        "key": key,
         "pins": len(graph.pins),
         "edges": int(csr.num_edges),
         "endpoints": len(ref.endpoint_slack),
@@ -141,6 +143,16 @@ def main(argv: list[str] | None = None) -> int:
               "metrics": metrics.snapshot()}
     BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {BENCH_JSON}")
+
+    from repro.obs.trend import append_trend
+    legs = {}
+    for row in rows:
+        for leg in ("seed_full_sta_ms", "serial_kernel_ms",
+                    "csr_kernel_ms", "incremental_update_ms"):
+            name = leg[:-3] + "_s"          # the ledger speaks seconds
+            legs[f"sta.{row['key']}.{name}"] = row[leg] / 1e3
+    append_trend(TREND_JSONL, "sta", legs, smoke=args.smoke,
+                 meta={"repeats": repeats})
 
     ok = all(r["csr_bit_identical"] and r["incremental_bit_identical"]
              for r in rows)

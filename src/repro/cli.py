@@ -8,6 +8,7 @@ timing     run a flow and print the signoff-style timing report
 congestion run a flow and print routing utilization + a heatmap
 export     generate a benchmark netlist and write structural Verilog
 service    flow-as-a-service daemon: start | stop | status | submit
+trace      analyze trace files: report | diff | gate
 list       list benchmark keys and selectors
 
 ``flow``/``timing``/``congestion`` accept ``--store PATH`` to read
@@ -21,7 +22,13 @@ Every command also takes the observability flags (see
 JSONL plus a ``chrome://tracing``-loadable sibling, ``--metrics PATH``
 dumps the run's counters/gauges/stats, and ``--log-level`` adjusts the
 structured ``repro`` logger (default ``info`` output is byte-identical
-to the historical prints).
+to the historical prints).  ``--trace-max-mb N`` switches tracing to a
+size-capped **rotating** stream (``PATH`` → ``PATH.1`` → ...) for
+long runs; ``service start`` always streams its trace this way.  The
+``trace`` group analyzes what the tracer wrote: ``trace report`` for
+self/cumulative-time profiles and critical paths, ``trace diff`` to
+localize where wall-clock moved between two runs, and ``trace gate``
+to check the perf-trend ledger against ``benchmarks/budgets.json``.
 
 Examples
 --------
@@ -35,6 +42,10 @@ python -m repro flow --benchmark maeri16_hetero --store .repro/store
 python -m repro service start --detach
 python -m repro service submit --benchmark maeri16_hetero --selector none
 python -m repro service status --json
+python -m repro service status --metrics
+python -m repro trace report run.jsonl --top 15
+python -m repro trace diff direct.jsonl cg.jsonl
+python -m repro trace gate --update-budgets
 """
 
 from __future__ import annotations
@@ -129,15 +140,23 @@ def _add_parallel(parser: argparse.ArgumentParser) -> None:
                         help="items per worker task (default: auto)")
 
 
-def _add_obs(parser: argparse.ArgumentParser) -> None:
+def _add_obs(parser: argparse.ArgumentParser,
+             metrics_flag: bool = True) -> None:
     group = parser.add_argument_group("observability")
     group.add_argument("--trace", metavar="PATH", default=None,
                        help="record hierarchical spans to PATH (JSONL) "
                             "plus a chrome://tracing sibling "
                             "(PATH with a .chrome.json suffix)")
-    group.add_argument("--metrics", metavar="PATH", default=None,
-                       help="write the run's counters/gauges/stats "
-                            "to PATH as JSON")
+    group.add_argument("--trace-max-mb", type=_positive_int,
+                       default=None, metavar="MB",
+                       help="stream spans to --trace with size-based "
+                            "rotation (PATH -> PATH.1 -> ...) instead "
+                            "of buffering; no chrome sibling in this "
+                            "mode")
+    if metrics_flag:
+        group.add_argument("--metrics", metavar="PATH", default=None,
+                           help="write the run's counters/gauges/stats"
+                                "/histograms to PATH as JSON")
     group.add_argument("--log-level", default="info", choices=LEVELS,
                        help="repro logger threshold (default: info)")
 
@@ -283,6 +302,13 @@ def _service_start(args) -> int:
                 "--budget-mb", str(args.budget_mb),
                 "--flow-workers", str(args.flow_workers),
                 "--log-level", args.log_level]
+        if args.trace:
+            argv += ["--trace", args.trace]
+            if args.trace_max_mb:
+                argv += ["--trace-max-mb", str(args.trace_max_mb)]
+            # The daemon child owns the trace file; the parent must
+            # not clobber it with its own (empty) buffer at exit.
+            args.trace = None
         log_dir = Path(config.store_root)
         log_dir.mkdir(parents=True, exist_ok=True)
         log_file = open(log_dir / "daemon.log", "ab")
@@ -319,7 +345,13 @@ def _service_stop(args) -> int:
 
 
 def _service_status(args) -> int:
-    response = _service_client(args).status()
+    client = _service_client(args)
+    if args.metrics:
+        # Scrape the daemon's Prometheus exposition verbatim — pipe
+        # this into a node_exporter textfile or promtool check.
+        print(client.metrics_prometheus(), end="")
+        return 0
+    response = client.status()
     if args.json:
         print(json.dumps(response, indent=2, sort_keys=True))
         return 0 if response.get("ok") else 1
@@ -328,6 +360,17 @@ def _service_status(args) -> int:
     log.info(f"  queue depth {response['queue_depth']}, "
              f"inflight {response['inflight']}, "
              f"flow workers {response['flow_workers']}")
+    for req in response.get("inflight_requests", []):
+        log.info(f"  inflight {req['id']}: {req['benchmark']}/"
+                 f"{req['selector']} (age {req['age_s']:.1f}s, "
+                 f"{req['waiters']} waiter"
+                 f"{'s' if req['waiters'] != 1 else ''})")
+    flight_info = response.get("flight")
+    if flight_info:
+        log.info(f"  flight recorder "
+                 f"{'armed' if flight_info['armed'] else 'disarmed'}: "
+                 f"{flight_info['dumps']} dumps -> "
+                 f"{flight_info['dir']}")
     store = response["store"]
     log.info(f"  store {store['root']}: {store['entries']} artifacts, "
              f"{store['bytes'] / 1e6:.1f} MB "
@@ -371,6 +414,53 @@ def _cmd_service(args) -> int:
     handler = {"start": _service_start, "stop": _service_stop,
                "status": _service_status, "submit": _service_submit}
     return handler[args.service_command](args)
+
+
+def _trace_report(args) -> int:
+    from repro.obs.analyze import report_file
+    print(report_file(args.file, top=args.top, by=args.by))
+    return 0
+
+
+def _trace_diff(args) -> int:
+    from repro.obs.analyze import diff_files
+    print(diff_files(args.a, args.b, top=args.top))
+    return 0
+
+
+def _trace_gate(args) -> int:
+    from repro.obs import trend
+    latest = trend.latest_legs(trend.load_trend(args.trend))
+    if args.update_budgets:
+        legs = args.leg or None
+        payload = trend.write_budgets(args.budgets, latest, legs=legs,
+                                      tolerance=args.tolerance,
+                                      headroom=args.headroom)
+        log.info(f"wrote {len(payload['budgets'])} leg budgets to "
+                 f"{args.budgets} (headroom x{args.headroom:g}, "
+                 f"tolerance {args.tolerance:.0%})")
+        return 0
+    budgets = trend.load_budgets(args.budgets)
+    failures, lines = trend.check_gate(latest, budgets)
+    for line in lines:
+        log.info(line)
+    if failures:
+        for failure in failures:
+            log.error(f"perf gate: {failure}")
+        return 1
+    log.info(f"perf gate ok: {len(budgets['budgets'])} legs within "
+             f"budget")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    handler = {"report": _trace_report, "diff": _trace_diff,
+               "gate": _trace_gate}
+    try:
+        return handler[args.trace_command](args)
+    except (OSError, ValueError) as exc:
+        log.error(str(exc))
+        return 2
 
 
 def _cmd_export(args) -> int:
@@ -475,14 +565,61 @@ def main(argv: list[str] | None = None) -> int:
     s_submit.add_argument("--json", action="store_true",
                           help="print the raw response JSON")
 
+    s_status.add_argument("--metrics", action="store_true",
+                          help="print the daemon metrics as Prometheus "
+                               "text exposition and exit")
+
+    tracecmd = sub.add_parser(
+        "trace", help="analyze trace files (report|diff|gate)")
+    tsub = tracecmd.add_subparsers(dest="trace_command", required=True)
+
+    t_report = tsub.add_parser(
+        "report", help="self/total time per span path, critical path")
+    t_report.add_argument("file", help="span trace (JSONL)")
+    t_report.add_argument("--top", type=_positive_int, default=20,
+                          help="hot paths to show (default: 20)")
+    t_report.add_argument("--by", default="self",
+                          choices=("self", "total"),
+                          help="hot-path sort key (default: self)")
+
+    t_diff = tsub.add_parser(
+        "diff", help="localize where wall-clock moved between two runs")
+    t_diff.add_argument("a", help="baseline span trace (JSONL)")
+    t_diff.add_argument("b", help="comparison span trace (JSONL)")
+    t_diff.add_argument("--top", type=_positive_int, default=20,
+                        help="largest self-time moves to show")
+
+    t_gate = tsub.add_parser(
+        "gate", help="fail when a tracked perf leg exceeds its budget")
+    t_gate.add_argument("--trend",
+                        default="benchmarks/results/trend.jsonl",
+                        help="perf-trend ledger (JSONL, appended by "
+                             "the benches)")
+    t_gate.add_argument("--budgets", default="benchmarks/budgets.json",
+                        help="per-leg budget file")
+    t_gate.add_argument("--update-budgets", action="store_true",
+                        help="re-baseline: write budgets from the "
+                             "newest ledger samples instead of "
+                             "checking")
+    t_gate.add_argument("--leg", action="append", metavar="NAME",
+                        help="with --update-budgets: budget only this "
+                             "leg (repeatable; default: every sampled "
+                             "leg)")
+    t_gate.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fraction over budget "
+                             "(default: 0.15)")
+    t_gate.add_argument("--headroom", type=float, default=2.0,
+                        help="with --update-budgets: budget = newest "
+                             "sample x headroom (default: 2.0)")
+
     for command in (listing, flow, table, timing, congestion, export,
-                    s_start, s_stop, s_status, s_submit):
+                    s_start, s_stop, s_submit, t_report, t_diff,
+                    t_gate):
         _add_obs(command)
+    _add_obs(s_status, metrics_flag=False)
 
     args = parser.parse_args(argv)
     set_log_level(args.log_level)
-    if args.trace:
-        trace.enable()
     handler = {
         "list": _cmd_list,
         "flow": _cmd_flow,
@@ -491,17 +628,46 @@ def main(argv: list[str] | None = None) -> int:
         "congestion": _cmd_congestion,
         "export": _cmd_export,
         "service": _cmd_service,
+        "trace": _cmd_trace,
     }[args.command]
+    # Long-lived daemons stream their trace through a rotating sink
+    # (bounded file size, bounded memory); one-shot commands buffer
+    # unless --trace-max-mb asks for rotation explicitly.
+    streaming = args.trace and (
+        args.trace_max_mb is not None
+        or (args.command == "service"
+            and args.service_command == "start"))
+    if (args.command == "service" and args.service_command == "start"
+            and args.detach):
+        # The forked daemon owns the trace file (_service_start
+        # forwards the flags and clears args.trace); the parent must
+        # not open, truncate, or write it.
+        streaming = False
+    elif args.trace:
+        trace.enable()
+        if streaming:
+            from repro.obs.tracer import RotatingTraceSink
+            max_mb = args.trace_max_mb or 64
+            trace.attach_sink(RotatingTraceSink(
+                args.trace, max_bytes=max_mb << 20))
     code = handler(args)
     if args.trace:
-        spans = trace.write_jsonl(args.trace)
-        chrome = chrome_trace_path(args.trace)
-        trace.write_chrome(chrome)
-        trace.disable()
-        trace.reset()
-        log.info(f"wrote {spans} spans to {args.trace} "
-                 f"(chrome: {chrome})")
-    if args.metrics:
+        if streaming:
+            sink = trace.detach_sink()
+            trace.disable()
+            trace.reset()
+            log.info(f"streamed {sink.records_written} spans to "
+                     f"{args.trace} ({sink.rotations} rotations; "
+                     f"no chrome sibling in rotating mode)")
+        else:
+            spans = trace.write_jsonl(args.trace)
+            chrome = chrome_trace_path(args.trace)
+            trace.write_chrome(chrome)
+            trace.disable()
+            trace.reset()
+            log.info(f"wrote {spans} spans to {args.trace} "
+                     f"(chrome: {chrome})")
+    if getattr(args, "metrics", None) and isinstance(args.metrics, str):
         metrics.write_json(args.metrics)
         log.info(f"wrote metrics to {args.metrics}")
     return code

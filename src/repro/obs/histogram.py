@@ -1,0 +1,127 @@
+"""Fixed-log-bucket histograms for latency-shaped distributions.
+
+The scalar ``stats`` family in :mod:`repro.obs.metrics` keeps
+count/total/min/max — enough for benchmark deltas, useless for a
+service: one slow request vanishes into the mean.  A
+:class:`Histogram` keeps per-bucket counts over a **fixed, global**
+log-spaced bucket ladder, so
+
+* observation cost is one ``bisect`` into a 34-entry tuple (the hot
+  daemon path can afford it on every request);
+* two histograms — from two processes, two runs, two snapshots — merge
+  by plain bucket-count addition, with no re-bucketing error;
+* the Prometheus text exposition gets honest cumulative ``le`` buckets
+  without per-metric configuration.
+
+The ladder is powers of two from ~1 microsecond to ~4096 seconds
+(:data:`BUCKET_BOUNDS`), chosen to bracket everything the flow
+produces — a disabled-span probe on the left, a cold MAERI-128 flow
+compute on the right.  Values beyond the top bound land in a single
+overflow bucket rendered as ``le="+Inf"``.
+
+Snapshots serialize sparsely ({le-label: count} for occupied buckets
+only) so a mostly-idle daemon's metrics dump stays small; labels are
+the exact ``repr`` of the bound so round-tripping through JSON is
+lossless.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: The global bucket ladder: 2**-20 s (~0.95 us) .. 2**12 s (~68 min),
+#: one bucket per power of two.  Shared by every histogram so counts
+#: merge across processes and runs without re-bucketing.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(2.0 ** e for e in range(-20, 13))
+
+#: The ``le`` label of the overflow bucket.
+INF_LABEL = "+Inf"
+
+
+def bucket_label(bound: float) -> str:
+    """The JSON/exposition label of one bucket bound (exact repr)."""
+    return repr(bound)
+
+
+#: Label per bound, precomputed (labels are emitted per snapshot).
+BUCKET_LABELS: tuple[str, ...] = tuple(bucket_label(b)
+                                       for b in BUCKET_BOUNDS)
+
+
+class Histogram:
+    """One fixed-bucket histogram; see the module docstring."""
+
+    __slots__ = ("counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        #: One slot per bound plus the overflow bucket.
+        self.counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Count *value* into its bucket (``le`` semantics: the first
+        bound >= value, inclusive)."""
+        self.counts[bisect_left(BUCKET_BOUNDS, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    def merge(self, other: "Histogram") -> None:
+        """Add *other*'s buckets into this histogram (same ladder by
+        construction, so this is exact)."""
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+
+    # -- serialization -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready dict: sparse {le-label: count} plus the scalars."""
+        buckets = {BUCKET_LABELS[i]: c
+                   for i, c in enumerate(self.counts[:-1]) if c}
+        if self.counts[-1]:
+            buckets[INF_LABEL] = self.counts[-1]
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "buckets": buckets,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "Histogram":
+        """Inverse of :meth:`snapshot` (trend/diff tooling)."""
+        hist = cls()
+        label_index = {label: i for i, label in enumerate(BUCKET_LABELS)}
+        for label, count in snap["buckets"].items():
+            if label == INF_LABEL:
+                hist.counts[-1] = int(count)
+            else:
+                hist.counts[label_index[label]] = int(count)
+        hist.count = int(snap["count"])
+        hist.total = float(snap["total"])
+        if hist.count:
+            hist.vmin = float(snap["min"])
+            hist.vmax = float(snap["max"])
+        return hist
+
+    def cumulative(self) -> list[tuple[str, int]]:
+        """Cumulative (le-label, count) pairs over the **full** ladder,
+        ending with ``+Inf`` — the Prometheus exposition shape."""
+        out = []
+        acc = 0
+        for i, bound_label in enumerate(BUCKET_LABELS):
+            acc += self.counts[i]
+            out.append((bound_label, acc))
+        out.append((INF_LABEL, acc + self.counts[-1]))
+        return out

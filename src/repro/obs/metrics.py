@@ -9,23 +9,32 @@ commit/merge point (the wavefront merge, the chunk result drain) —
 worker-interior timing detail travels through span collection instead
 (:mod:`repro.obs.tracer`).
 
-Three families:
+Four families:
 
-* **counters** — monotonically increasing totals (``inc``);
-* **gauges**  — last-write-wins values (``set_gauge``);
-* **stats**   — scalar distributions kept as count/total/min/max
-  (``observe``; ``add_time`` is the seconds-valued convenience).
+* **counters**   — monotonically increasing totals (``inc``);
+* **gauges**     — last-write-wins values (``set_gauge``);
+* **stats**      — scalar distributions kept as count/total/min/max
+  (``observe``; ``add_time`` is the seconds-valued convenience);
+* **histograms** — fixed-log-bucket distributions
+  (:mod:`repro.obs.histogram`) for latency-shaped values where the
+  tail matters (``observe_hist``) — the daemon's per-request latency
+  lives here.
 
 ``snapshot()`` returns the aggregate dict benchmarks attach to their
 ``BENCH_*.json`` records; ``write_json()`` is what ``--metrics PATH``
-dumps.  Nothing here is read back by any computation — metrics are
-determinism-safe by construction.
+dumps; :func:`render_prometheus` is the same registry in Prometheus
+text exposition format (the daemon's ``metrics`` verb).  Nothing here
+is read back by any computation — metrics are determinism-safe by
+construction.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
+
+from repro.obs.histogram import Histogram
 
 
 class MetricsRegistry:
@@ -36,6 +45,7 @@ class MetricsRegistry:
         self._gauges: dict[str, float] = {}
         #: name -> [count, total, min, max]
         self._stats: dict[str, list[float]] = {}
+        self._hists: dict[str, Histogram] = {}
 
     # -- updates -------------------------------------------------------------
 
@@ -61,10 +71,20 @@ class MetricsRegistry:
         """Seconds-valued :meth:`observe`; name by convention ``*_s``."""
         self.observe(name, seconds)
 
+    def observe_hist(self, name: str, value: float) -> None:
+        """Count *value* into the fixed-log-bucket histogram *name*."""
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = Histogram()
+        hist.observe(value)
+
     # -- reads ---------------------------------------------------------------
 
     def counter(self, name: str) -> float:
         return self._counters.get(name, 0)
+
+    def hist(self, name: str) -> Histogram | None:
+        return self._hists.get(name)
 
     def snapshot(self) -> dict:
         """The whole registry as one sorted, JSON-ready dict."""
@@ -77,18 +97,75 @@ class MetricsRegistry:
                        "mean": stat[1] / stat[0]}
                 for name, stat in sorted(self._stats.items())
             },
+            "histograms": {
+                name: hist.snapshot()
+                for name, hist in sorted(self._hists.items())
+            },
         }
 
     def reset(self) -> None:
         self._counters.clear()
         self._gauges.clear()
         self._stats.clear()
+        self._hists.clear()
 
     def write_json(self, path: str | Path) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.snapshot(), fh, indent=2, sort_keys=True,
                       default=str)
             fh.write("\n")
+
+
+# -- Prometheus text exposition -----------------------------------------------
+
+#: Characters Prometheus metric names may not contain.
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str, prefix: str = "repro_") -> str:
+    """``service.request_wait_s`` -> ``repro_service_request_wait_s``."""
+    return prefix + _PROM_BAD.sub("_", name)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render one :meth:`MetricsRegistry.snapshot` dict as Prometheus
+    text exposition (version 0.0.4).
+
+    * counters -> ``counter``;
+    * gauges -> ``gauge``;
+    * stats -> ``summary`` (``_sum``/``_count``) plus ``_min``/``_max``
+      gauges (Prometheus summaries cannot carry extrema);
+    * histograms -> ``histogram`` with cumulative ``le`` buckets over
+      the full fixed ladder, ``+Inf``, ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, sample_lines: list[str]) -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(sample_lines)
+
+    for name, value in snapshot.get("counters", {}).items():
+        pname = prometheus_name(name) + "_total"
+        emit(pname, "counter", [f"{pname} {value!r}"])
+    for name, value in snapshot.get("gauges", {}).items():
+        pname = prometheus_name(name)
+        emit(pname, "gauge", [f"{pname} {value!r}"])
+    for name, stat in snapshot.get("stats", {}).items():
+        pname = prometheus_name(name)
+        emit(pname, "summary", [f"{pname}_sum {stat['total']!r}",
+                                f"{pname}_count {stat['count']!r}"])
+        for field in ("min", "max"):
+            gname = f"{pname}_{field}"
+            emit(gname, "gauge", [f"{gname} {stat[field]!r}"])
+    for name, snap in snapshot.get("histograms", {}).items():
+        pname = prometheus_name(name)
+        hist = Histogram.from_snapshot(snap)
+        samples = [f'{pname}_bucket{{le="{label}"}} {count}'
+                   for label, count in hist.cumulative()]
+        samples.append(f"{pname}_sum {hist.total!r}")
+        samples.append(f"{pname}_count {hist.count}")
+        emit(pname, "histogram", samples)
+    return "\n".join(lines) + "\n"
 
 
 #: The process-wide registry.  Import it, don't construct your own.

@@ -1,20 +1,35 @@
-"""Trace/metrics file-format validators.
+"""Trace/metrics/flight-dump file-format validators (schema v2).
 
-Shared by ``tests/test_obs.py`` and the CI observability smoke job::
+Shared by the test suite and the CI observability smoke jobs::
 
     PYTHONPATH=src python -m repro.obs.schema TRACE.jsonl \\
         TRACE.chrome.json METRICS.json
+    PYTHONPATH=src python -m repro.obs.schema --prom METRICS.prom
+    PYTHONPATH=src python -m repro.obs.schema --flight FLIGHT.json
 
 Each validator raises :class:`ValueError` with a pinpointed message on
 the first malformed record and returns a small summary on success, so
 both pytest assertions and the CLI entry point get real diagnostics.
+
+Schema v2 (this revision) extends v1 with:
+
+* a required ``histograms`` section in metrics dumps
+  (fixed-log-bucket snapshots from :mod:`repro.obs.histogram`);
+* flight-recorder dump files (``repro.flight/2``) holding span /
+  sample / note ring events plus a metrics snapshot;
+* a Prometheus text-exposition checker for the daemon's ``metrics``
+  verb.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import sys
 from pathlib import Path
+
+#: Validator revision; bumped when any accepted format changes shape.
+SCHEMA_VERSION = 2
 
 #: Keys every JSONL span record must carry.
 SPAN_KEYS = frozenset(
@@ -25,9 +40,14 @@ CHROME_KEYS = frozenset({"name", "cat", "ph", "ts", "dur", "pid", "tid",
                          "args"})
 
 #: Top-level sections of a metrics dump.
-METRICS_SECTIONS = ("counters", "gauges", "stats")
+METRICS_SECTIONS = ("counters", "gauges", "stats", "histograms")
 
 _STAT_FIELDS = frozenset({"count", "total", "min", "max", "mean"})
+
+_HIST_FIELDS = frozenset({"count", "total", "min", "max", "buckets"})
+
+#: Event types a flight-recorder ring may contain.
+FLIGHT_EVENT_TYPES = frozenset({"span", "sample", "note"})
 
 
 def _is_num(value) -> bool:
@@ -118,8 +138,45 @@ def validate_chrome_trace(path: str | Path) -> dict:
     return {"events": len(events), "pids": len(pids)}
 
 
+def validate_histogram_snapshot(snap: dict, where: str) -> None:
+    """Validate one fixed-log-bucket histogram snapshot dict."""
+    if not isinstance(snap, dict) or _HIST_FIELDS - snap.keys():
+        raise ValueError(f"{where}: missing histogram fields")
+    for field in ("count", "total", "min", "max"):
+        if not _is_num(snap[field]):
+            raise ValueError(f"{where}[{field}] is not numeric")
+    buckets = snap["buckets"]
+    if not isinstance(buckets, dict):
+        raise ValueError(f"{where}: buckets is not an object")
+    total_count = 0
+    last_bound = float("-inf")
+    for label, count in buckets.items():
+        if label != "+Inf":
+            try:
+                bound = float(label)
+            except ValueError:
+                raise ValueError(
+                    f"{where}: bucket label {label!r} is not a "
+                    f"number") from None
+            if bound <= last_bound:
+                raise ValueError(f"{where}: bucket labels not "
+                                 f"strictly increasing at {label!r}")
+            last_bound = bound
+        if not isinstance(count, int) or count < 1:
+            raise ValueError(
+                f"{where}: bucket[{label!r}] count must be a positive "
+                f"integer, got {count!r}")
+        total_count += count
+    if total_count != snap["count"]:
+        raise ValueError(
+            f"{where}: bucket counts sum to {total_count}, "
+            f"count says {snap['count']}")
+    if snap["count"] and snap["min"] > snap["max"]:
+        raise ValueError(f"{where}: min > max")
+
+
 def validate_metrics(path: str | Path) -> dict:
-    """Validate a metrics dump; returns {counters, gauges, stats}."""
+    """Validate a metrics dump; returns section sizes."""
     with open(path, encoding="utf-8") as fh:
         payload = json.load(fh)
     if not isinstance(payload, dict):
@@ -141,20 +198,152 @@ def validate_metrics(path: str | Path) -> dict:
                     f"{path}: stats[{name!r}][{field}] is not numeric")
         if stat["count"] < 1 or stat["min"] > stat["max"]:
             raise ValueError(f"{path}: stats[{name!r}] is inconsistent")
+    for name, snap in payload["histograms"].items():
+        validate_histogram_snapshot(snap, f"{path}: histograms[{name!r}]")
     return {section: len(payload[section]) for section in METRICS_SECTIONS}
 
 
+def validate_flight_dump(path: str | Path) -> dict:
+    """Validate a flight-recorder dump; returns {events, spans}."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    if payload.get("schema") != "repro.flight/2":
+        raise ValueError(f"{path}: unknown flight schema "
+                         f"{payload.get('schema')!r}")
+    for field in ("reason", "pid", "ts_us", "events", "metrics"):
+        if field not in payload:
+            raise ValueError(f"{path}: missing field {field!r}")
+    if not isinstance(payload["reason"], str) or not payload["reason"]:
+        raise ValueError(f"{path}: bad reason")
+    if not isinstance(payload["events"], list):
+        raise ValueError(f"{path}: events is not a list")
+    spans = 0
+    for i, event in enumerate(payload["events"]):
+        if not isinstance(event, dict):
+            raise ValueError(f"{path}: event {i} is not an object")
+        etype = event.get("type")
+        if etype not in FLIGHT_EVENT_TYPES:
+            raise ValueError(f"{path}: event {i} has unknown type "
+                             f"{etype!r}")
+        if etype == "span":
+            missing = SPAN_KEYS - event.keys()
+            if missing:
+                raise ValueError(f"{path}: span event {i} missing keys "
+                                 f"{sorted(missing)}")
+            spans += 1
+        elif etype == "sample":
+            if not isinstance(event.get("name"), str) \
+                    or not _is_num(event.get("value")):
+                raise ValueError(f"{path}: sample event {i} malformed")
+        else:                                       # note
+            if not isinstance(event.get("message"), str):
+                raise ValueError(f"{path}: note event {i} malformed")
+        if not _is_num(event.get("ts_us")) or event["ts_us"] < 0:
+            raise ValueError(f"{path}: event {i} bad ts_us")
+    if "exception" in payload:
+        exc = payload["exception"]
+        if not isinstance(exc, dict) \
+                or not isinstance(exc.get("type"), str) \
+                or not isinstance(exc.get("traceback"), str):
+            raise ValueError(f"{path}: malformed exception section")
+    # The embedded metrics snapshot obeys the metrics schema; reuse it
+    # structurally by validating the sections inline.
+    snap = payload["metrics"]
+    if not isinstance(snap, dict) \
+            or any(section not in snap for section in METRICS_SECTIONS):
+        raise ValueError(f"{path}: malformed metrics snapshot")
+    return {"events": len(payload["events"]), "spans": spans}
+
+
+#: ``name{labels} value [timestamp]`` — enough of the Prometheus text
+#: format to catch a broken renderer.
+_PROM_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? "
+    r"([+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|inf|nan))$")
+_PROM_TYPES = frozenset({"counter", "gauge", "summary", "histogram",
+                         "untyped"})
+
+
+def validate_prometheus_text(path: str | Path) -> dict:
+    """Validate Prometheus text exposition; returns {samples, types}.
+
+    Checks sample-line syntax, ``# TYPE`` declarations, and per-
+    histogram bucket monotonicity (cumulative ``le`` counts must not
+    decrease and must end at ``+Inf`` == ``_count``).
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    samples = 0
+    types: dict[str, str] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    counts: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in _PROM_TYPES:
+                raise ValueError(f"{path}:{lineno}: bad TYPE line")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _PROM_SAMPLE.match(line)
+        if not match:
+            raise ValueError(f"{path}:{lineno}: bad sample line "
+                             f"{line!r}")
+        name, labels, value = match.groups()
+        samples += 1
+        if name.endswith("_bucket") and labels and "le=" in labels:
+            le = labels.split('le="', 1)[1].split('"', 1)[0]
+            bound = float("inf") if le == "+Inf" else float(le)
+            buckets.setdefault(name[:-len("_bucket")], []).append(
+                (bound, float(value)))
+        elif name.endswith("_count"):
+            counts[name[:-len("_count")]] = float(value)
+    for base, pairs in buckets.items():
+        last = -1.0
+        for bound, cum in pairs:
+            if cum < last:
+                raise ValueError(
+                    f"{path}: histogram {base} bucket counts decrease "
+                    f"at le={bound}")
+            last = cum
+        if pairs[-1][0] != float("inf"):
+            raise ValueError(f"{path}: histogram {base} missing +Inf "
+                             f"bucket")
+        if base in counts and pairs[-1][1] != counts[base]:
+            raise ValueError(
+                f"{path}: histogram {base} +Inf bucket "
+                f"{pairs[-1][1]} != _count {counts[base]}")
+    return {"samples": samples, "types": len(types)}
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry: validate trace JSONL [chrome JSON [metrics JSON]]."""
-    args = sys.argv[1:] if argv is None else argv
-    if not args or len(args) > 3:
-        print("usage: python -m repro.obs.schema TRACE.jsonl "
-              "[TRACE.chrome.json [METRICS.json]]", file=sys.stderr)
+    """CLI entry: validate trace JSONL [chrome JSON [metrics JSON]],
+    plus ``--prom FILE`` / ``--flight FILE`` for the v2 formats."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    extra: list[tuple] = []
+    for flag, validator in (("--prom", validate_prometheus_text),
+                            ("--flight", validate_flight_dump)):
+        while flag in args:
+            i = args.index(flag)
+            try:
+                extra.append((args[i + 1], validator))
+            except IndexError:
+                print(f"{flag} needs a file argument", file=sys.stderr)
+                return 2
+            del args[i:i + 2]
+    if (not args and not extra) or len(args) > 3:
+        print("usage: python -m repro.obs.schema [TRACE.jsonl "
+              "[TRACE.chrome.json [METRICS.json]]] "
+              "[--prom FILE] [--flight FILE]", file=sys.stderr)
         return 2
     validators = (validate_trace_jsonl, validate_chrome_trace,
                   validate_metrics)
     try:
-        for path, validator in zip(args, validators):
+        for path, validator in list(zip(args, validators)) + extra:
             summary = validator(path)
             print(f"{path}: OK {summary}")
     except (OSError, ValueError) as exc:

@@ -32,6 +32,20 @@ process-wide (list appends are atomic under the GIL), so one
 :meth:`collect_worker` parks only the calling thread's stack; it is
 meant for single-threaded pool worker processes.
 
+Long-lived processes (the service daemon) must not grow an unbounded
+in-memory record list or trace file: :class:`RotatingTraceSink`
+streams each record to JSONL as its span closes and rolls the file
+over at a size cap (``run.jsonl`` -> ``run.jsonl.1`` ...), and
+``attach_sink(..., keep_records=False)`` keeps the in-memory buffer
+empty in sink mode.
+
+A *request id* can be pinned to the calling thread
+(:meth:`Tracer.set_request`): every span the thread (and any pool
+worker it dispatches to — the id rides the ``export_parent`` token)
+opens while pinned carries a ``req`` attribute, so cross-process span
+merging groups by request rather than pid alone.  The service daemon
+pins one id per ``flow`` request.
+
 Timestamps are wall-clock microseconds (comparable across processes);
 durations come from ``perf_counter_ns``.  Nothing here is read back
 by any computation — tracing is determinism-safe by construction.
@@ -65,6 +79,67 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+#: Separator between the parent-span id and the request id in an
+#: ``export_parent`` token.  Span ids are ``<pid hex>-<seq hex>`` and
+#: never contain it.
+_REQ_SEP = "|"
+
+
+class RotatingTraceSink:
+    """Streaming JSONL span writer with size-based rollover.
+
+    Records append to *path* as their spans close; once the file would
+    exceed *max_bytes* it rotates — ``path`` -> ``path.1`` ->
+    ``path.2`` ... up to *backups* generations, oldest dropped — so a
+    daemon tracing for days holds at most ``(backups + 1) * max_bytes``
+    of trace on disk and nothing in memory.
+    """
+
+    def __init__(self, path: str | Path, max_bytes: int = 64 << 20,
+                 backups: int = 3):
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = max(0, backups)
+        self.rotations = 0
+        self.records_written = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._bytes = 0
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        if self._bytes and self._bytes + len(line) > self.max_bytes:
+            self._rotate()
+        self._fh.write(line)
+        self._bytes += len(line)
+        self.records_written += 1
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        oldest = self.path.with_name(f"{self.path.name}.{self.backups}")
+        oldest.unlink(missing_ok=True)
+        for gen in range(self.backups - 1, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{gen}")
+            if src.exists():
+                src.rename(self.path.with_name(
+                    f"{self.path.name}.{gen + 1}"))
+        if self.backups:
+            self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        else:
+            self.path.unlink(missing_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._bytes = 0
+        self.rotations += 1
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
 
 class _Span:
     """One live span; created only while the tracer is enabled."""
@@ -84,6 +159,8 @@ class _Span:
         self.parent_id = stack[-1] if stack else frame.root_parent
         self.span_id = t._next_id()
         stack.append(self.span_id)
+        if frame.request_id is not None and "req" not in self.attrs:
+            self.attrs["req"] = frame.request_id
         self.ts_us = time.time_ns() // 1000
         self._t0 = time.perf_counter_ns()
         return self
@@ -97,7 +174,7 @@ class _Span:
         dur_us = (time.perf_counter_ns() - self._t0) / 1000.0
         t = self._tracer
         t._frame().stack.pop()
-        t._records.append({
+        t._emit({
             "name": self.name,
             "id": self.span_id,
             "parent": self.parent_id,
@@ -110,14 +187,16 @@ class _Span:
 
 
 class _ThreadFrame:
-    """Per-thread tracer state: the span stack plus the parent id
-    grafted onto its stack-root spans (worker collection)."""
+    """Per-thread tracer state: the span stack, the parent id grafted
+    onto its stack-root spans (worker collection), and the request id
+    pinned to the thread's spans."""
 
-    __slots__ = ("stack", "root_parent")
+    __slots__ = ("stack", "root_parent", "request_id")
 
     def __init__(self) -> None:
         self.stack: list[str] = []
         self.root_parent: str | None = None
+        self.request_id: str | None = None
 
 
 class Tracer:
@@ -130,6 +209,12 @@ class Tracer:
         #: Atomic under the GIL — threads share one id sequence.
         self._seq = itertools.count(1)
         self._pid = os.getpid()
+        self._sink: RotatingTraceSink | None = None
+        self._keep_records = True
+        #: Flight recorder ring (:mod:`repro.obs.recorder`); when set,
+        #: spans are created and mirrored into it even with tracing
+        #: disabled.
+        self._flight = None
 
     def _frame(self) -> _ThreadFrame:
         frame = getattr(self._local, "frame", None)
@@ -157,6 +242,7 @@ class Tracer:
         frame = self._frame()
         frame.stack = []
         frame.root_parent = None
+        frame.request_id = None
 
     @property
     def records(self) -> list[dict]:
@@ -166,6 +252,63 @@ class Tracer:
     def _next_id(self) -> str:
         return f"{self._pid:x}-{next(self._seq):x}"
 
+    def _emit(self, record: dict) -> None:
+        """Route one finished span record to every active consumer."""
+        if self._enabled:
+            if self._keep_records:
+                self._records.append(record)
+            if self._sink is not None:
+                self._sink.write(record)
+        if self._flight is not None:
+            self._flight.record_span(record)
+
+    # -- streaming sink ------------------------------------------------------
+
+    @property
+    def sink(self) -> RotatingTraceSink | None:
+        return self._sink
+
+    def attach_sink(self, sink: RotatingTraceSink,
+                    keep_records: bool = False) -> None:
+        """Stream finished spans through *sink* (size-capped JSONL).
+
+        With ``keep_records=False`` (the long-lived-daemon mode) the
+        in-memory record buffer stays empty, so neither the trace file
+        nor process memory grows without bound.
+        """
+        self._sink = sink
+        self._keep_records = keep_records
+
+    def detach_sink(self) -> RotatingTraceSink | None:
+        """Close and return the active sink (restores buffering)."""
+        sink, self._sink = self._sink, None
+        self._keep_records = True
+        if sink is not None:
+            sink.close()
+        return sink
+
+    # -- flight recorder -----------------------------------------------------
+
+    def attach_flight(self, recorder) -> None:
+        """Mirror every finished span into *recorder*'s ring buffer —
+        even while tracing is disabled (the always-on crash path)."""
+        self._pid = os.getpid()
+        self._flight = recorder
+
+    def detach_flight(self) -> None:
+        self._flight = None
+
+    # -- request ids ---------------------------------------------------------
+
+    def set_request(self, request_id: str | None) -> None:
+        """Pin *request_id* to the calling thread: every span it opens
+        (and every pool-worker span it dispatches) carries
+        ``attrs["req"]`` until cleared with ``None``."""
+        self._frame().request_id = request_id
+
+    def current_request(self) -> str | None:
+        return self._frame().request_id
+
     # -- spans ---------------------------------------------------------------
 
     def span(self, name: str, **attrs):
@@ -174,7 +317,7 @@ class Tracer:
         Attribute values must be JSON-representable scalars (str, int,
         float, bool) — they go straight into the trace output.
         """
-        if not self._enabled:
+        if not self._enabled and self._flight is None:
             return _NULL_SPAN
         return _Span(self, name, attrs)
 
@@ -184,12 +327,18 @@ class Tracer:
         """Token shipped with pool tasks.
 
         ``None`` means tracing is off (workers skip collection
-        entirely); the empty string means on-but-no-active-span.
+        entirely); the empty string means on-but-no-active-span.  When
+        the calling thread is pinned to a request id, the token is
+        ``"<parent-id>|<request-id>"`` so worker spans inherit the
+        request grouping across the process boundary.
         """
         if not self._enabled:
             return None
-        stack = self._frame().stack
-        return stack[-1] if stack else ""
+        frame = self._frame()
+        token = frame.stack[-1] if frame.stack else ""
+        if frame.request_id is not None:
+            token = f"{token}{_REQ_SEP}{frame.request_id}"
+        return token
 
     @contextmanager
     def collect_worker(self, parent_id: str):
@@ -205,23 +354,36 @@ class Tracer:
         keeps ids unique in both the forked and the in-process
         serial-fallback case.
         """
+        parent, _, request = parent_id.partition(_REQ_SEP)
         frame = self._frame()
-        saved = (self._enabled, self._records, frame.stack,
-                 frame.root_parent, self._pid)
+        saved = (self._enabled, self._records, self._sink,
+                 self._keep_records, frame.stack, frame.root_parent,
+                 frame.request_id, self._pid)
         self._enabled = True
         self._records = records = []
+        self._sink = None               # the parent owns the sink
+        self._keep_records = True
         frame.stack = []
-        frame.root_parent = parent_id or None
+        frame.root_parent = parent or None
+        frame.request_id = request or None
         self._pid = os.getpid()
         try:
             yield records
         finally:
-            (self._enabled, self._records, frame.stack,
-             frame.root_parent, self._pid) = saved
+            (self._enabled, self._records, self._sink,
+             self._keep_records, frame.stack, frame.root_parent,
+             frame.request_id, self._pid) = saved
 
     def merge(self, records: list[dict]) -> None:
         """Append worker-collected span records to this tracer."""
-        self._records.extend(records)
+        if self._keep_records:
+            self._records.extend(records)
+        if self._sink is not None:
+            for rec in records:
+                self._sink.write(rec)
+        if self._flight is not None:
+            for rec in records:
+                self._flight.record_span(rec)
 
     # -- serialization -------------------------------------------------------
 

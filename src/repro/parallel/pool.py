@@ -30,6 +30,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.obs import metrics, trace
+from repro.obs.recorder import flight, maybe_arm_from_env
 from repro.parallel.config import ParallelConfig
 
 T = TypeVar("T")
@@ -91,11 +92,15 @@ def loads_snapshot(payload: bytes) -> Any:
 def _init_worker(payload: bytes) -> None:
     global _WORKER_STATE
     _WORKER_STATE = loads_snapshot(payload)
+    maybe_arm_from_env()
 
 
 def _init_fork_worker() -> None:
     global _WORKER_STATE
     _WORKER_STATE = _FORK_SNAPSHOT
+    # Forked children inherit an already-armed recorder and this is a
+    # no-op; spawn/forkserver children start fresh and arm here.
+    maybe_arm_from_env()
 
 
 def _run_chunk(fn: Callable[[Any, list], list], chunk: list,
@@ -108,12 +113,18 @@ def _run_chunk(fn: Callable[[Any, list], list], chunk: list,
     chunk runs under a worker-local span collection and ``(results,
     span records)`` travels back for the parent to merge.
     """
-    if trace_parent is None:
-        return fn(_WORKER_STATE, chunk)
-    with trace.collect_worker(trace_parent) as records:
-        with trace.span("pool.chunk", items=len(chunk)):
-            out = fn(_WORKER_STATE, chunk)
-    return out, records
+    try:
+        if trace_parent is None:
+            return fn(_WORKER_STATE, chunk)
+        with trace.collect_worker(trace_parent) as records:
+            with trace.span("pool.chunk", items=len(chunk)):
+                out = fn(_WORKER_STATE, chunk)
+        return out, records
+    except Exception as exc:
+        # Per-process forensics before the exception pickles back to
+        # the parent (no-op unless a flight recorder is armed).
+        flight.crash_dump("pool.chunk", exc)
+        raise
 
 
 def _serial_run(fn: Callable[[Any, list], list], state: Any,
@@ -128,12 +139,16 @@ def _serial_run(fn: Callable[[Any, list], list], state: Any,
 def _run_chunk_extra(fn: Callable[[Any, Any, list], list], extra: Any,
                      chunk: list, trace_parent: str | None = None):
     """Persistent-pool sibling of :func:`_run_chunk`."""
-    if trace_parent is None:
-        return fn(_WORKER_STATE, extra, chunk)
-    with trace.collect_worker(trace_parent) as records:
-        with trace.span("pool.chunk", items=len(chunk)):
-            out = fn(_WORKER_STATE, extra, chunk)
-    return out, records
+    try:
+        if trace_parent is None:
+            return fn(_WORKER_STATE, extra, chunk)
+        with trace.collect_worker(trace_parent) as records:
+            with trace.span("pool.chunk", items=len(chunk)):
+                out = fn(_WORKER_STATE, extra, chunk)
+        return out, records
+    except Exception as exc:
+        flight.crash_dump("pool.chunk", exc)
+        raise
 
 
 def _drain_futures(futures: list, traced: bool, t_dispatch: float) -> list:

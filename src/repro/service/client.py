@@ -71,6 +71,18 @@ class ServiceClient:
     def status(self) -> dict:
         return self.request({"op": "status"})
 
+    def health(self) -> dict:
+        """Cheap liveness probe (no metrics snapshot attached)."""
+        return self.request({"op": "health"})
+
+    def metrics_prometheus(self) -> str:
+        """The daemon's metrics as Prometheus text exposition."""
+        response = self.request({"op": "metrics"})
+        if not response.get("ok"):
+            raise ServiceUnavailable(
+                f"metrics op failed: {response.get('error')}")
+        return response["text"]
+
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})
 

@@ -5,7 +5,13 @@ requests from any number of clients.  The protocol is one JSON object
 per line in both directions; ops:
 
 ``ping``      liveness probe;
-``status``    queue depth, in-flight keys, run metrics, store stats;
+``health``    minimal liveness + uptime (no metrics snapshot: safe to
+              poll at high frequency);
+``status``    queue depth, in-flight requests (with request ids), run
+              metrics, store stats;
+``metrics``   the full metrics registry rendered as Prometheus text
+              exposition (format 0.0.4) — counters, gauges, stats
+              summaries and the per-request latency histograms;
 ``flow``      run (or replay) one benchmark flow; responds with the
               table row, the report digest, timing breakdown and —
               on request — the on-disk paths of the pickled
@@ -27,7 +33,19 @@ process-wide :mod:`repro.obs` metrics (``service.requests``,
 ``service.dedup_hits``, ``service.flow_computes``,
 ``service.flow_summary_hits``, ``store.*``), which ``status`` reports
 back to clients — the concurrency test suite asserts dedup through
-exactly this surface.
+exactly this surface.  Telemetry additions on top of that:
+
+* every dispatch is timed into the ``service.latency_s`` (and
+  per-op ``service.latency_s.<op>``) fixed-bucket **histograms**,
+  exported by the ``metrics`` op;
+* flow requests get a daemon-unique **request id** (``req-<seq>``)
+  that is pinned onto the tracer for the job's executor thread, so
+  every span the job emits — including pool-worker spans merged back
+  from other processes — carries ``req=<id>`` and cross-process
+  traces group by request rather than pid alone;
+* the **flight recorder** is armed for the daemon's lifetime: a
+  bounded ring of recent spans dumped to ``<store_root>/flight/`` on
+  unhandled exceptions, failed flow jobs, or ``SIGUSR1``.
 
 Tracing note: the span stack is process-global, so per-request traces
 are only well-nested with ``flow_workers=1`` (the default).
@@ -45,14 +63,16 @@ from pathlib import Path
 from threading import Thread
 
 from repro.errors import FlowError
-from repro.obs import get_logger, metrics, trace
+from repro.obs import flight, get_logger, metrics, trace
+from repro.obs.metrics import render_prometheus
 from repro.service.store import (ArtifactStore, DEFAULT_BUDGET_BYTES,
                                  DEFAULT_COMPRESS_LEVEL)
 
 log = get_logger("repro.service.daemon")
 
-#: Protocol revision, echoed by ``ping``/``status``.
-PROTOCOL_VERSION = 1
+#: Protocol revision, echoed by ``ping``/``status``.  2 added the
+#: ``health``/``metrics`` ops, request ids and latency histograms.
+PROTOCOL_VERSION = 2
 
 #: Fields of a ``flow`` request that identify the computation.  This
 #: tuple is the *dedup* key (request-level, cheap to derive in the
@@ -122,6 +142,10 @@ class FlowService:
                                    compress_level=config.compress_level)
         self._queue: asyncio.Queue = asyncio.Queue()
         self._inflight: dict[tuple, asyncio.Future] = {}
+        #: Request-id bookkeeping mirroring ``_inflight``: key ->
+        #: {"id", "benchmark", "selector", "since_s", "waiters"}.
+        self._inflight_info: dict[tuple, dict] = {}
+        self._req_seq = 0
         self._executor = ThreadPoolExecutor(
             max_workers=config.flow_workers,
             thread_name_prefix="repro-flow")
@@ -140,6 +164,11 @@ class FlowService:
                                                  path=str(path))
         workers = [asyncio.create_task(self._worker())
                    for _ in range(self.config.flow_workers)]
+        # Crash forensics for the daemon's whole lifetime: recent spans
+        # ring-buffered, dumped on SIGUSR1 / unhandled exceptions /
+        # failed flow jobs.  Pool workers inherit via the environment.
+        flight.arm(Path(self.store.root) / "flight",
+                   install_signal=True, install_excepthook=True)
         log.info(f"repro service listening on {path} "
                  f"(store: {self.store.root}, "
                  f"workers: {self.config.flow_workers})")
@@ -152,6 +181,7 @@ class FlowService:
                 task.cancel()
             self._executor.shutdown(wait=False, cancel_futures=True)
             self.store.flush()
+            flight.disarm()
             path.unlink(missing_ok=True)
             log.info("repro service stopped")
 
@@ -199,17 +229,45 @@ class FlowService:
         op = request.get("op")
         metrics.inc("service.requests")
         metrics.inc(f"service.requests.{op}")
+        t0 = time.perf_counter()
+        try:
+            return await self._dispatch_op(op, request)
+        finally:
+            latency = time.perf_counter() - t0
+            metrics.observe_hist("service.latency_s", latency)
+            if isinstance(op, str):
+                metrics.observe_hist(f"service.latency_s.{op}", latency)
+
+    async def _dispatch_op(self, op, request: dict) -> dict:
         if op == "ping":
             return {"ok": True, "op": "ping", "pid": os.getpid(),
                     "protocol": PROTOCOL_VERSION}
+        if op == "health":
+            return self._health()
         if op == "status":
             return self._status()
+        if op == "metrics":
+            return {"ok": True, "op": "metrics",
+                    "format": "prometheus-0.0.4",
+                    "text": render_prometheus(metrics.snapshot())}
         if op == "shutdown":
             self.request_shutdown()
             return {"ok": True, "op": "shutdown"}
         if op == "flow":
             return await self._op_flow(request)
         raise ServiceError(f"unknown op {op!r}")
+
+    def _health(self) -> dict:
+        return {
+            "ok": True,
+            "op": "health",
+            "status": "ok",
+            "pid": os.getpid(),
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": time.time() - self._started_at,
+            "inflight": len(self._inflight),
+            "queue_depth": self._queue.qsize(),
+        }
 
     def _status(self) -> dict:
         return {
@@ -221,6 +279,15 @@ class FlowService:
             "uptime_s": time.time() - self._started_at,
             "queue_depth": self._queue.qsize(),
             "inflight": len(self._inflight),
+            "inflight_requests": [
+                {"id": info["id"], "benchmark": info["benchmark"],
+                 "selector": info["selector"],
+                 "age_s": time.time() - info["since_s"],
+                 "waiters": info["waiters"]}
+                for info in self._inflight_info.values()],
+            "flight": {"armed": flight.armed,
+                       "dumps": flight.dumps_written,
+                       "dir": str(flight.directory or "")},
             "flow_workers": self.config.flow_workers,
             "store": self.store.stats(),
             "metrics": metrics.snapshot(),
@@ -234,12 +301,23 @@ class FlowService:
         future = self._inflight.get(key)
         if future is not None:
             metrics.inc("service.dedup_hits")
+            info = self._inflight_info.get(key)
+            if info is not None:
+                info["waiters"] += 1
+            request_id = info["id"] if info else None
             deduped = True
         else:
             deduped = False
+            self._req_seq += 1
+            request_id = f"req-{self._req_seq}"
             future = self._loop.create_future()
             self._inflight[key] = future
-            await self._queue.put((key, request, future))
+            self._inflight_info[key] = {
+                "id": request_id, "since_s": time.time(), "waiters": 1,
+                "benchmark": request.get("benchmark", "maeri16_hetero"),
+                "selector": request.get("selector", "gnn")}
+            metrics.set_gauge("service.inflight", len(self._inflight))
+            await self._queue.put((key, request, future, request_id))
             metrics.set_gauge("service.queue_depth", self._queue.qsize())
         try:
             response = dict(await asyncio.shield(future))
@@ -247,21 +325,29 @@ class FlowService:
             raise
         except Exception as exc:
             metrics.inc("service.errors")
-            return {"ok": False, "error": repr(exc)}
+            return {"ok": False, "error": repr(exc),
+                    "request_id": request_id}
         response["deduped"] = deduped
+        response["request_id"] = request_id
         response["wait_s"] = time.perf_counter() - t0
         metrics.add_time("service.request_wait_s",
                          time.perf_counter() - t0)
         return response
 
+    def _finish_inflight(self, key: tuple) -> None:
+        self._inflight.pop(key, None)
+        self._inflight_info.pop(key, None)
+        metrics.set_gauge("service.inflight", len(self._inflight))
+
     async def _worker(self) -> None:
         while True:
-            key, request, future = await self._queue.get()
+            key, request, future, request_id = await self._queue.get()
             try:
                 result = await self._loop.run_in_executor(
-                    self._executor, self._run_flow_job, request)
+                    self._executor, self._run_flow_job, request,
+                    request_id)
             except Exception as exc:           # surfaced per-awaiter
-                self._inflight.pop(key, None)
+                self._finish_inflight(key)
                 if not future.done():
                     future.set_exception(exc)
                 continue
@@ -269,24 +355,43 @@ class FlowService:
                 self._queue.task_done()
                 metrics.set_gauge("service.queue_depth",
                                   self._queue.qsize())
-            self._inflight.pop(key, None)
+            self._finish_inflight(key)
             if not future.done():
                 future.set_result(result)
 
-    def _run_flow_job(self, request: dict) -> dict:
+    def _run_flow_job(self, request: dict,
+                      request_id: str | None = None) -> dict:
         """Executor-thread body: store lookup or full flow compute."""
         from repro.service.stages import (flow_artifact_paths,
                                           run_flow_stored)
         spec, config, seeds = build_flow_config(request)
         want_report = bool(request.get("save_report", False))
-        with trace.span("service.request", op="flow",
-                        benchmark=spec.key, selector=config.selector):
-            t0 = time.perf_counter()
-            report, summary, cached = run_flow_stored(
-                spec.factory, spec.tech(), seeds, config, self.store,
-                need_report=want_report)
-            elapsed = time.perf_counter() - t0
+        # Pin the request id on this executor thread: every span the
+        # job emits (and every pool-worker span merged back into it)
+        # carries req=<id>, so cross-process traces group by request.
+        trace.set_request(request_id)
+        try:
+            with trace.span("service.request", op="flow",
+                            benchmark=spec.key,
+                            selector=config.selector):
+                t0 = time.perf_counter()
+                report, summary, cached = run_flow_stored(
+                    spec.factory, spec.tech(), seeds, config, self.store,
+                    need_report=want_report)
+                elapsed = time.perf_counter() - t0
+        except Exception as exc:
+            flight.record_note("flow job failed",
+                               request_id=request_id or "",
+                               benchmark=spec.key)
+            flight.crash_dump("service.flow", exc)
+            raise
+        finally:
+            trace.set_request(None)
         metrics.add_time("service.flow_serve_s", elapsed)
+        metrics.observe_hist("service.flow_serve_s", elapsed)
+        flight.record_sample("service.flow_serve_s", elapsed,
+                             request_id=request_id or "",
+                             benchmark=spec.key, cached=cached)
         response = {
             "ok": True,
             "op": "flow",

@@ -225,7 +225,7 @@ class TestMetricsRegistry:
         path = tmp_path / "metrics.json"
         reg.write_json(path)
         assert validate_metrics(path) == \
-            {"counters": 1, "gauges": 1, "stats": 1}
+            {"counters": 1, "gauges": 1, "stats": 1, "histograms": 0}
 
 
 class TestLogger:
@@ -392,3 +392,223 @@ class TestCliRoundTrip:
         assert main(["list", "--log-level", "warning"]) == 0
         captured = capsys.readouterr()
         assert captured.out == ""
+
+
+class TestHistogram:
+    def test_bucket_bound_is_le_inclusive(self):
+        from repro.obs.histogram import BUCKET_BOUNDS, Histogram, \
+            bucket_label
+        hist = Histogram()
+        bound = BUCKET_BOUNDS[5]
+        hist.observe(bound)                 # exactly on the bound
+        hist.observe(bound * 1.000001)      # just past it
+        snap = hist.snapshot()
+        assert snap["buckets"][bucket_label(bound)] == 1
+        assert snap["buckets"][bucket_label(BUCKET_BOUNDS[6])] == 1
+
+    def test_underflow_and_overflow(self):
+        from repro.obs.histogram import BUCKET_BOUNDS, Histogram, \
+            bucket_label
+        hist = Histogram()
+        hist.observe(0.0)                   # below the whole ladder
+        hist.observe(BUCKET_BOUNDS[-1] * 2)  # past the top bound
+        snap = hist.snapshot()
+        assert snap["buckets"][bucket_label(BUCKET_BOUNDS[0])] == 1
+        assert snap["buckets"]["+Inf"] == 1
+        assert snap["min"] == 0.0
+        assert snap["max"] == BUCKET_BOUNDS[-1] * 2
+
+    def test_merge_is_exact(self):
+        from repro.obs.histogram import Histogram
+        values_a = [0.001, 0.5, 2.0]
+        values_b = [0.002, 7.0, 9000.0]
+        combined = Histogram()
+        for v in values_a + values_b:
+            combined.observe(v)
+        a, b = Histogram(), Histogram()
+        for v in values_a:
+            a.observe(v)
+        for v in values_b:
+            b.observe(v)
+        a.merge(b)
+        assert a.snapshot() == combined.snapshot()
+
+    def test_snapshot_roundtrip_and_cumulative(self):
+        from repro.obs.histogram import BUCKET_BOUNDS, Histogram
+        hist = Histogram()
+        for v in (0.001, 0.001, 0.25, 30.0, 1e5):
+            hist.observe(v)
+        snap = hist.snapshot()
+        # Sparse: only occupied buckets serialize.
+        assert len(snap["buckets"]) == 4
+        back = Histogram.from_snapshot(snap)
+        assert back.snapshot() == snap
+        cum = hist.cumulative()
+        assert len(cum) == len(BUCKET_BOUNDS) + 1
+        assert cum[-1] == ("+Inf", 5)
+        counts = [c for _label, c in cum]
+        assert counts == sorted(counts)     # cumulative never drops
+
+    def test_empty_snapshot(self):
+        from repro.obs.histogram import Histogram
+        snap = Histogram().snapshot()
+        assert snap == {"count": 0, "total": 0.0, "min": 0.0,
+                        "max": 0.0, "buckets": {}}
+
+    def test_registry_histograms_snapshot_and_validate(self, tmp_path):
+        from repro.obs.schema import validate_histogram_snapshot
+        reg = MetricsRegistry()
+        reg.observe_hist("lat_s", 0.25)
+        reg.observe_hist("lat_s", 4.0)
+        snap = reg.snapshot()["histograms"]["lat_s"]
+        assert snap["count"] == 2
+        validate_histogram_snapshot(snap, "lat_s")
+        path = tmp_path / "m.json"
+        reg.write_json(path)
+        assert validate_metrics(path)["histograms"] == 1
+
+
+class TestPrometheusExposition:
+    def test_name_sanitization(self):
+        from repro.obs.metrics import prometheus_name
+        assert prometheus_name("service.latency_s") == \
+            "repro_service_latency_s"
+        assert prometheus_name("a-b c") == "repro_a_b_c"
+
+    def test_render_validates_and_covers_all_families(self, tmp_path):
+        from repro.obs.metrics import render_prometheus
+        from repro.obs.schema import validate_prometheus_text
+        reg = MetricsRegistry()
+        reg.inc("flow.runs", 3)
+        reg.set_gauge("service.inflight", 2)
+        reg.add_time("place.factor_s", 0.5)
+        reg.observe_hist("service.latency_s", 0.01)
+        reg.observe_hist("service.latency_s", 3.0)
+        text = render_prometheus(reg.snapshot())
+        assert "# TYPE repro_flow_runs_total counter" in text
+        assert "repro_flow_runs_total 3" in text
+        assert "# TYPE repro_service_inflight gauge" in text
+        assert "# TYPE repro_place_factor_s summary" in text
+        assert "repro_place_factor_s_max" in text
+        assert "# TYPE repro_service_latency_s histogram" in text
+        assert 'repro_service_latency_s_bucket{le="+Inf"} 2' in text
+        assert "repro_service_latency_s_count 2" in text
+        path = tmp_path / "metrics.prom"
+        path.write_text(text)
+        info = validate_prometheus_text(path)
+        assert info["samples"] > 0
+        assert info["types"] >= 4
+
+    def test_validator_rejects_nonmonotonic_buckets(self, tmp_path):
+        from repro.obs.schema import validate_prometheus_text
+        path = tmp_path / "bad.prom"
+        path.write_text(
+            "# TYPE repro_x histogram\n"
+            'repro_x_bucket{le="1.0"} 5\n'
+            'repro_x_bucket{le="+Inf"} 3\n'
+            "repro_x_sum 1.0\n"
+            "repro_x_count 3\n")
+        with pytest.raises(ValueError, match="monoton|decreas"):
+            validate_prometheus_text(path)
+
+    def test_validator_rejects_garbage_sample(self, tmp_path):
+        from repro.obs.schema import validate_prometheus_text
+        path = tmp_path / "bad.prom"
+        path.write_text("this is not exposition\n")
+        with pytest.raises(ValueError):
+            validate_prometheus_text(path)
+
+
+class TestRotatingSink:
+    def test_rotation_produces_generations(self, tmp_path):
+        from repro.obs.tracer import RotatingTraceSink
+        path = tmp_path / "t.jsonl"
+        record = {"id": "x", "parent": None, "name": "s", "pid": 1,
+                  "ts_us": 0, "dur_us": 1.0, "attrs": {}}
+        line_len = len(json.dumps(record, sort_keys=True)) + 1
+        sink = RotatingTraceSink(path, max_bytes=line_len * 3,
+                                 backups=2)
+        for _ in range(8):
+            sink.write(record)
+        sink.close()
+        assert sink.records_written == 8
+        # 8 records at 3 per generation: live file 2, .1 and .2 full,
+        # oldest generation dropped at the cap.
+        assert len(path.read_text().splitlines()) == 2
+        assert len((tmp_path / "t.jsonl.1").read_text()
+                   .splitlines()) == 3
+        assert len((tmp_path / "t.jsonl.2").read_text()
+                   .splitlines()) == 3
+        assert not (tmp_path / "t.jsonl.3").exists()
+
+    def test_streaming_spans_bypass_memory(self, tmp_path):
+        from repro.obs.schema import validate_trace_jsonl
+        from repro.obs.tracer import RotatingTraceSink
+        path = tmp_path / "stream.jsonl"
+        trace.enable()
+        trace.reset()
+        trace.attach_sink(RotatingTraceSink(path), keep_records=False)
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        sink = trace.detach_sink()
+        assert sink.records_written == 2
+        assert trace.records == []          # nothing buffered
+        assert validate_trace_jsonl(path)["spans"] == 2
+
+
+class TestRequestIds:
+    def test_spans_carry_pinned_request(self):
+        tr = Tracer()
+        tr.enable()
+        tr.set_request("req-7")
+        with tr.span("serve"):
+            pass
+        tr.set_request(None)
+        with tr.span("idle"):
+            pass
+        recs = by_name(tr.records)
+        assert recs["serve"][0]["attrs"]["req"] == "req-7"
+        assert "req" not in recs["idle"][0]["attrs"]
+
+    def test_request_crosses_worker_boundary(self):
+        """export_parent ships '<parent>|<req>'; collect_worker pins
+        the request on the worker side so merged pool spans group by
+        request id, not pid."""
+        tr = Tracer()
+        tr.enable()
+        tr.set_request("req-9")
+        with tr.span("driver") as driver:
+            token = tr.export_parent()
+            assert token == f"{driver.span_id}|req-9"
+            with tr.collect_worker(token) as records:
+                with tr.span("pool.chunk"):
+                    pass
+            tr.merge(records)
+        tr.set_request(None)
+        assert tr.current_request() is None
+        recs = by_name(tr.records)
+        chunk = recs["pool.chunk"][0]
+        assert chunk["parent"] == recs["driver"][0]["id"]
+        assert chunk["attrs"]["req"] == "req-9"
+
+
+class TestRecorderDeterminism:
+    def test_rows_bit_identical_with_recorder_armed(self, hetero_tech,
+                                                    tmp_path):
+        from repro.obs.recorder import flight
+        baseline = run_flow(tiny_factory, hetero_tech,
+                            SeedBundle(TEST_SEED), fast_config("sota"))
+        flight.arm(tmp_path, export_env=False)
+        try:
+            recorded = run_flow(tiny_factory, hetero_tech,
+                                SeedBundle(TEST_SEED),
+                                fast_config("sota"))
+            assert any(e["type"] == "span" for e in flight.events())
+        finally:
+            flight.disarm()
+        row_a = {k: v for k, v in baseline.row().items()
+                 if k != "runtime_min"}
+        row_b = {k: v for k, v in recorded.row().items()
+                 if k != "runtime_min"}
+        assert row_a == row_b

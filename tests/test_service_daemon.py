@@ -333,3 +333,56 @@ class TestSocketHygiene:
         finally:
             running.handle.stop()
             shutil.rmtree(sockdir, ignore_errors=True)
+
+
+class TestTelemetry:
+    """Protocol-v2 observability: health/metrics ops, request ids,
+    per-op latency histograms, and flight-recorder visibility."""
+
+    def test_health_op(self, daemon):
+        health = daemon.client().health()
+        assert health["ok"]
+        assert health["status"] == "ok"
+        assert health["pid"] == os.getpid()      # in-process daemon
+        assert health["protocol"] == 2
+        assert health["uptime_s"] >= 0
+        assert health["inflight"] == 0
+
+    def test_metrics_op_is_valid_exposition(self, daemon, tmp_path):
+        from repro.obs.schema import validate_prometheus_text
+        client = daemon.client()
+        client.ping()                            # move a latency hist
+        text = client.metrics_prometheus()
+        path = tmp_path / "scrape.prom"
+        path.write_text(text)
+        info = validate_prometheus_text(path)
+        assert info["samples"] > 0
+        assert "# TYPE repro_service_latency_s histogram" in text
+        # Per-op breakdown: the pings we just made have their own
+        # histogram family.
+        assert "repro_service_latency_s_ping_bucket" in text
+
+    def test_flow_response_carries_request_id(self, daemon):
+        response = daemon.client().submit_flow(
+            benchmark=BENCH, selector="none", seed=411)
+        assert response["ok"]
+        assert response["request_id"].startswith("req-")
+        # A warm replay of the same request is a new request id.
+        again = daemon.client().submit_flow(
+            benchmark=BENCH, selector="none", seed=411)
+        assert again["request_id"] != response["request_id"]
+
+    def test_status_reports_inflight_and_flight_recorder(self, daemon):
+        status = daemon.client().status()
+        assert status["ok"]
+        assert status["inflight_requests"] == []     # idle daemon
+        assert status["flight"]["armed"]
+        assert status["flight"]["dumps"] >= 0
+        assert "flight" in status["flight"]["dir"]
+
+    def test_flow_latency_lands_in_histograms(self, daemon):
+        daemon.client().submit_flow(benchmark=BENCH, selector="none",
+                                    seed=412)
+        snap = metrics.snapshot()["histograms"]
+        assert snap["service.latency_s"]["count"] > 0
+        assert snap["service.flow_serve_s"]["count"] > 0

@@ -1,0 +1,174 @@
+"""Trace-analysis tests: path profiles, critical paths, run diffs.
+
+Everything here drives :mod:`repro.obs.analyze` with hand-built span
+forests whose self/total times and critical paths are known by
+construction — no tracer involved, so failures localize to the
+analysis itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.analyze import (aggregate, critical_path, diff_files,
+                               diff_profiles, read_spans,
+                               render_diff, render_report, report_file)
+
+
+def span(sid, name, dur_us, parent=None, **attrs):
+    return {"id": sid, "parent": parent, "name": name, "pid": 1,
+            "ts_us": 0, "dur_us": float(dur_us), "attrs": attrs}
+
+
+def write_jsonl(path, records):
+    import json
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+
+
+#: A forest with one dominating root.  Layout (durations in us):
+#:
+#:   flow (1000)
+#:     place (600)
+#:       solve (450)
+#:     route (300)
+#:   aux (50)
+#:
+#: Self times: flow 100, place 150, solve 450, route 300, aux 50.
+TREE = [
+    span("a", "flow", 1000),
+    span("b", "place", 600, parent="a"),
+    span("c", "solve", 450, parent="b"),
+    span("d", "route", 300, parent="a"),
+    span("e", "aux", 50),
+]
+
+
+class TestAggregate:
+    def test_paths_and_self_times(self):
+        profile = aggregate(TREE)
+        assert profile.spans == 5
+        assert profile.roots == 2
+        assert profile.wall_us == 1050.0
+        stats = profile.paths
+        assert stats["flow"].total_us == 1000.0
+        assert stats["flow"].self_us == 100.0           # 1000-600-300
+        assert stats["flow/place"].self_us == 150.0     # 600-450
+        assert stats["flow/place/solve"].self_us == 450.0
+        assert stats["flow/route"].self_us == 300.0
+        assert stats["aux"].self_us == 50.0
+        # Self times of a forest sum to its wall-clock.
+        assert sum(s.self_us for s in stats.values()) == 1050.0
+
+    def test_repeated_paths_accumulate(self):
+        records = [
+            span("r", "flow", 100),
+            span("x", "step", 30, parent="r"),
+            span("y", "step", 50, parent="r"),
+        ]
+        profile = aggregate(records)
+        stat = profile.paths["flow/step"]
+        assert stat.count == 2
+        assert stat.total_us == 80.0
+        assert profile.paths["flow"].self_us == 20.0
+
+    def test_self_time_clamped_nonnegative(self):
+        # Overlapping children (worker spans merged from several
+        # processes) can sum past the parent; self time must clamp.
+        records = [
+            span("r", "dispatch", 100),
+            span("x", "chunk", 80, parent="r"),
+            span("y", "chunk", 70, parent="r"),
+        ]
+        profile = aggregate(records)
+        assert profile.paths["dispatch"].self_us == 0.0
+
+    def test_dangling_parent_promoted_to_root(self):
+        # The head of a rotated trace: parent id not in the file.
+        records = [span("x", "orphan", 10, parent="gone")]
+        profile = aggregate(records)
+        assert profile.roots == 1
+        assert profile.paths["orphan"].count == 1
+
+    def test_empty(self):
+        profile = aggregate([])
+        assert profile.spans == 0
+        assert profile.critical == []
+
+
+class TestCriticalPath:
+    def test_descends_slowest_child(self):
+        steps = critical_path(TREE)
+        assert [s[0] for s in steps] == \
+            ["flow", "flow/place", "flow/place/solve"]
+        assert steps[0][1] == 1000.0
+        assert steps[1][2] == 150.0     # place self time
+        assert steps[2][1] == 450.0
+
+    def test_picks_longest_root(self):
+        records = [span("a", "small", 10), span("b", "big", 20)]
+        assert critical_path(records)[0][0] == "big"
+
+
+class TestDiff:
+    def test_localizes_the_move(self):
+        before = aggregate(TREE)
+        # After: solve got 300us faster, a new stage appeared, aux
+        # vanished.
+        after = aggregate([
+            span("a", "flow", 750),
+            span("b", "place", 350, parent="a"),
+            span("c", "solve", 150, parent="b"),
+            span("d", "route", 300, parent="a"),
+            span("f", "lint", 40, parent="a"),
+        ])
+        deltas = {d.path: d for d in diff_profiles(before, after)}
+        assert deltas["flow/place/solve"].d_self_us == -300.0
+        assert deltas["flow/lint"].a is None        # [new]
+        assert deltas["flow/lint"].d_self_us == 40.0
+        assert deltas["aux"].b is None              # [gone]
+        assert deltas["aux"].d_self_us == -50.0
+        # Largest |self move| ranks first.
+        ranked = diff_profiles(before, after)
+        assert ranked[0].path == "flow/place/solve"
+        text = render_diff(before, after)
+        assert "[new]" in text and "[gone]" in text
+        assert "flow/place/solve" in text
+
+    def test_identical_runs_have_no_moves(self):
+        profile = aggregate(TREE)
+        assert all(d.d_self_us == 0.0
+                   for d in diff_profiles(profile, profile))
+
+
+class TestRendering:
+    def test_report_mentions_hot_paths(self):
+        text = render_report(aggregate(TREE), top=3)
+        assert "critical path" in text
+        assert "flow/place/solve" in text
+        # Sorted by self time: solve (450) above route (300).
+        assert text.index("solve") < text.index("route")
+
+    def test_sort_by_total(self):
+        text = render_report(aggregate(TREE), by="total")
+        assert "by total" in text
+
+    def test_bad_sort_key_rejected(self):
+        with pytest.raises(ValueError):
+            render_report(aggregate(TREE), by="wall")
+
+
+class TestFiles:
+    def test_report_and_diff_from_files(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        write_jsonl(a, TREE)
+        write_jsonl(b, TREE)
+        assert read_spans(a) == TREE
+        assert "flow/place/solve" in report_file(a)
+        assert "+0.0%" in diff_files(a, b)
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": "x"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_spans(path)
